@@ -1,0 +1,252 @@
+package ltc
+
+import (
+	"fmt"
+	"testing"
+
+	"ltc/internal/core"
+	"ltc/internal/experiments"
+	"ltc/internal/flow"
+	"ltc/internal/model"
+)
+
+// Experiment benchmarks — one per paper figure column (each column covers
+// three panels: latency, runtime, memory). Every iteration runs the whole
+// sweep at a small scale; `cmd/ltcbench` runs the same sweeps at larger
+// scales with repetitions and prints the paper-style tables.
+
+func benchExperiment(b *testing.B, id string, scale float64, algos ...string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Scale: scale, Reps: 1, Seed: 42, Algorithms: algos}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Tasks regenerates Fig. 3a/3e/3i (varying |T|).
+func BenchmarkFig3Tasks(b *testing.B) { benchExperiment(b, "fig3-tasks", 0.01) }
+
+// BenchmarkFig3Capacity regenerates Fig. 3b/3f/3j (varying K).
+func BenchmarkFig3Capacity(b *testing.B) { benchExperiment(b, "fig3-capacity", 0.01) }
+
+// BenchmarkFig3AccNormal regenerates Fig. 3c/3g/3k (Normal accuracy µ).
+func BenchmarkFig3AccNormal(b *testing.B) { benchExperiment(b, "fig3-accnormal", 0.01) }
+
+// BenchmarkFig3AccUniform regenerates Fig. 3d/3h/3l (Uniform accuracy mean).
+func BenchmarkFig3AccUniform(b *testing.B) { benchExperiment(b, "fig3-accuniform", 0.01) }
+
+// BenchmarkFig4Epsilon regenerates Fig. 4a/4e/4i (varying ε).
+func BenchmarkFig4Epsilon(b *testing.B) { benchExperiment(b, "fig4-epsilon", 0.01) }
+
+// BenchmarkFig4Scalability regenerates Fig. 4b/4f/4j (|T| up to 100k at
+// full scale; benchmarked at 0.5% so each iteration stays in seconds).
+func BenchmarkFig4Scalability(b *testing.B) { benchExperiment(b, "fig4-scalability", 0.005) }
+
+// BenchmarkFig4NewYork regenerates Fig. 4c/4g/4k (New York trace).
+func BenchmarkFig4NewYork(b *testing.B) { benchExperiment(b, "fig4-newyork", 0.01) }
+
+// BenchmarkFig4Tokyo regenerates Fig. 4d/4h/4l (Tokyo trace).
+func BenchmarkFig4Tokyo(b *testing.B) { benchExperiment(b, "fig4-tokyo", 0.005) }
+
+// Per-algorithm benchmarks on a fixed Table IV instance (default setting at
+// 5% scale): the per-run cost behind Fig. 3e/3i's algorithm ordering.
+
+func benchInstance(b *testing.B) (*Instance, *CandidateIndex) {
+	b.Helper()
+	cfg := DefaultWorkload().Scale(0.05)
+	cfg.Seed = 42
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, NewCandidateIndex(in)
+}
+
+func benchAlgorithm(b *testing.B, algo Algorithm) {
+	b.Helper()
+	in, ci := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var latency int
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(in, algo, SolveOptions{Index: ci, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		latency = res.Latency
+	}
+	b.ReportMetric(float64(latency), "latency")
+}
+
+func BenchmarkAlgorithmBaseOff(b *testing.B) { benchAlgorithm(b, BaseOff) }
+func BenchmarkAlgorithmMCFLTC(b *testing.B)  { benchAlgorithm(b, MCFLTC) }
+func BenchmarkAlgorithmRandom(b *testing.B)  { benchAlgorithm(b, RandomAssign) }
+func BenchmarkAlgorithmLAF(b *testing.B)     { benchAlgorithm(b, LAF) }
+func BenchmarkAlgorithmAAM(b *testing.B)     { benchAlgorithm(b, AAM) }
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+
+// BenchmarkAblationAAMStrategies compares the published hybrid switching
+// rule against LGF-only and LRF-only scoring: the hybrid's latency should
+// match the better of the two extremes on each workload.
+func BenchmarkAblationAAMStrategies(b *testing.B) {
+	for _, s := range []struct {
+		name     string
+		strategy core.AAMStrategy
+	}{
+		{"Hybrid", core.StrategyHybrid},
+		{"LGFOnly", core.StrategyLGFOnly},
+		{"LRFOnly", core.StrategyLRFOnly},
+	} {
+		b.Run(s.name, func(b *testing.B) {
+			in, ci := benchInstance(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var latency int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunOnline(in, ci, func(in *model.Instance, ci *model.CandidateIndex) core.Online {
+					return core.NewAAMWithStrategy(in, ci, s.strategy)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				latency = res.Latency
+			}
+			b.ReportMetric(float64(latency), "latency")
+		})
+	}
+}
+
+// BenchmarkAblationMCFBatch sweeps MCF-LTC's batch-size multiplier: smaller
+// batches track the worker stream more closely (lower latency, more flow
+// solves); larger batches amortise the flow cost.
+func BenchmarkAblationMCFBatch(b *testing.B) {
+	for _, mult := range []float64{0.25, 0.5, 1.0, 2.0} {
+		b.Run(fmt.Sprintf("mult=%.2f", mult), func(b *testing.B) {
+			in, ci := benchInstance(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var latency int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunOffline(in, ci, &core.MCFLTC{BatchMultiplier: mult})
+				if err != nil {
+					b.Fatal(err)
+				}
+				latency = res.Latency
+			}
+			b.ReportMetric(float64(latency), "latency")
+		})
+	}
+}
+
+// BenchmarkAblationSSPAAugment compares bottleneck augmentation against
+// unit-flow augmentation inside MCF-LTC's SSPA (identical arrangements,
+// different augmentation counts).
+func BenchmarkAblationSSPAAugment(b *testing.B) {
+	for _, u := range []struct {
+		name string
+		unit bool
+	}{{"Bottleneck", false}, {"UnitFlow", true}} {
+		b.Run(u.name, func(b *testing.B) {
+			in, ci := benchInstance(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunOffline(in, ci, &core.MCFLTC{UnitAugment: u.unit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSSPAEngine compares the Dijkstra-with-potentials engine
+// against the SPFA reference engine.
+func BenchmarkAblationSSPAEngine(b *testing.B) {
+	for _, e := range []struct {
+		name   string
+		engine flow.Engine
+	}{{"Dijkstra", flow.EngineDijkstra}, {"SPFA", flow.EngineSPFA}} {
+		b.Run(e.name, func(b *testing.B) {
+			in, ci := benchInstance(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunOffline(in, ci, &core.MCFLTC{Engine: e.engine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEligibility sweeps the MinAcc eligibility threshold
+// (DESIGN.md §2): 0.50 puts the radius exactly at dmax; stricter values
+// shrink candidate sets and push latency up.
+func BenchmarkAblationEligibility(b *testing.B) {
+	for _, minAcc := range []float64{0.50, 0.66, 0.78} {
+		b.Run(fmt.Sprintf("minAcc=%.2f", minAcc), func(b *testing.B) {
+			cfg := DefaultWorkload().Scale(0.05)
+			cfg.Seed = 42
+			cfg.MinAcc = minAcc
+			in, err := cfg.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ci := NewCandidateIndex(in)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var latency float64
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(in, AAM, SolveOptions{Index: ci})
+				if err != nil && res == nil {
+					b.Fatal(err)
+				}
+				latency = float64(res.Latency)
+			}
+			b.ReportMetric(latency, "latency")
+		})
+	}
+}
+
+// BenchmarkCandidateIndex measures the per-worker eligibility query, the
+// inner loop of every online algorithm.
+func BenchmarkCandidateIndex(b *testing.B) {
+	in, ci := benchInstance(b)
+	buf := make([]Candidate, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ci.Candidates(in.Workers[i%len(in.Workers)], buf[:0])
+	}
+}
+
+// BenchmarkSessionArrive measures the streaming API's per-arrival cost.
+func BenchmarkSessionArrive(b *testing.B) {
+	in, ci := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		sess, err := NewSession(in, AAM, SolveOptions{Index: ci})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range in.Workers {
+			if sess.Done() || i >= b.N {
+				break
+			}
+			if _, err := sess.Arrive(w); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	}
+}

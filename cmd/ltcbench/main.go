@@ -1,0 +1,125 @@
+// Command ltcbench regenerates the paper's evaluation tables and figures.
+//
+// Every panel of Fig. 3 and Fig. 4 maps to one experiment id; `-exp all`
+// runs the whole evaluation. Results print in the paper's layout (one
+// section per figure panel, one row per algorithm) and can also be dumped
+// as long-format CSV for plotting.
+//
+// Examples:
+//
+//	ltcbench -list
+//	ltcbench -exp fig3-tasks -scale 0.05 -reps 3
+//	ltcbench -exp all -scale 0.1 -reps 5 -csv results.csv
+//	ltcbench -exp table4 -exp-table5
+//	ltcbench -exp fig4-newyork -algos LAF,AAM,Random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"ltc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltcbench: ")
+
+	var (
+		expID   = flag.String("exp", "", "experiment id (see -list), 'all', 'table4' or 'table5'")
+		scale   = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
+		reps    = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
+		seed    = flag.Uint64("seed", 42, "base seed")
+		algos   = flag.String("algos", "", "comma-separated algorithm subset (default: all five)")
+		csvPath = flag.String("csv", "", "also write long-format CSV to this path ('-' for stdout)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (each covers three figure panels):")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-17s %s  [%s %s %s]\n", e.ID, e.Title, e.Panels[0], e.Panels[1], e.Panels[2])
+		}
+		fmt.Println("  table4            print the synthetic dataset settings (Table IV)")
+		fmt.Println("  table5            print the check-in dataset presets (Table V)")
+		return
+	}
+	if *expID == "" {
+		log.Fatal("missing -exp; use -list to see the available experiments")
+	}
+	switch *expID {
+	case "table4":
+		fmt.Print(experiments.FormatTableIV())
+		return
+	case "table5":
+		fmt.Print(experiments.FormatTableV())
+		return
+	}
+
+	opts := experiments.Options{
+		Scale: *scale,
+		Reps:  *reps,
+		Seed:  *seed,
+	}
+	if *algos != "" {
+		for _, a := range strings.Split(*algos, ",") {
+			opts.Algorithms = append(opts.Algorithms, strings.TrimSpace(a))
+		}
+	}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var ids []string
+	if *expID == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*expID, ",")
+	}
+
+	var csvOut io.Writer
+	if *csvPath == "-" {
+		csvOut = os.Stdout
+	} else if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		csvOut = f
+	}
+
+	for i, id := range ids {
+		e, err := experiments.Lookup(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := e.Run(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := table.Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if csvOut != nil {
+			if err := table.CSV(csvOut); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

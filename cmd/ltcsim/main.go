@@ -1,0 +1,107 @@
+// Command ltcsim runs a single LTC instance through every algorithm and
+// reports the paper's three metrics side by side, then audits answer
+// quality with the weighted-majority voting simulator — a one-stop sanity
+// check that the latency/quality trade-off behaves as published.
+//
+// Examples:
+//
+//	ltcsim
+//	ltcsim -tasks 100 -workers 2000 -k 4 -epsilon 0.14
+//	ltcsim -city newyork -scale 0.01
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"ltc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltcsim: ")
+
+	var (
+		tasks   = flag.Int("tasks", 150, "number of tasks (synthetic)")
+		workers = flag.Int("workers", 2000, "number of workers (synthetic)")
+		k       = flag.Int("k", 6, "worker capacity K")
+		epsilon = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
+		seed    = flag.Uint64("seed", 1, "generation seed")
+		city    = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
+		scale   = flag.Float64("scale", 0.01, "city trace scale factor")
+		trials  = flag.Int("trials", 200, "voting simulation trials")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*city, *scale, *tasks, *workers, *k, *epsilon, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d tasks, %d workers, K=%d, ε=%.2f (δ=%.2f)\n\n",
+		len(in.Tasks), len(in.Workers), in.K, in.Epsilon, in.Delta())
+
+	ci := ltc.NewCandidateIndex(in)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tkind\tlatency\tworkers used\truntime\talloc MB\tempirical err")
+	for _, algo := range ltc.Algorithms() {
+		res, err := ltc.Solve(in, algo, ltc.SolveOptions{Index: ci, Seed: *seed})
+		if err != nil && !errors.Is(err, ltc.ErrIncomplete) {
+			log.Fatalf("%s: %v", algo, err)
+		}
+		rep := ltc.VerifyQuality(in, res.Arrangement, *trials, *seed)
+		kind := "offline"
+		if algo.IsOnline() {
+			kind = "online"
+		}
+		mark := ""
+		if !res.Completed {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d%s\t%d\t%v\t%.2f\t%.4f\n",
+			algo, kind, res.Latency, mark, res.Arrangement.WorkersUsed(),
+			res.Elapsed.Round(1000), float64(res.AllocBytes)/(1<<20), rep.ErrorRate)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
+}
+
+func buildInstance(city string, scale float64, tasks, workers, k int, epsilon float64, seed uint64) (*ltc.Instance, error) {
+	switch city {
+	case "":
+		cfg := ltc.DefaultWorkload()
+		cfg.NumTasks = tasks
+		cfg.NumWorkers = workers
+		cfg.K = k
+		cfg.Epsilon = epsilon
+		cfg.Seed = seed
+		// Keep Table IV's spatial worker density so arbitrary counts stay
+		// feasible: grid area scales with the worker count.
+		side := math.Sqrt(float64(workers) / 40000.0)
+		cfg.GridWidth *= side
+		cfg.GridHeight *= side
+		return cfg.Generate()
+	case "newyork", "tokyo":
+		cfg := ltc.NewYork()
+		if city == "tokyo" {
+			cfg = ltc.Tokyo()
+		}
+		cfg = cfg.Scale(scale)
+		cfg.Epsilon = epsilon
+		cfg.K = k
+		cfg.Seed = seed
+		tr, err := ltc.GenerateCity(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Instance, nil
+	default:
+		return nil, fmt.Errorf("unknown city %q (want newyork or tokyo)", city)
+	}
+}

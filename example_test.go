@@ -1,0 +1,70 @@
+package ltc_test
+
+import (
+	"fmt"
+
+	"ltc"
+)
+
+// ExampleSolve runs the paper's running example (Table I accuracies, eight
+// workers, K = 2, ε = 0.2) through the online AAM algorithm.
+func ExampleSolve() {
+	tableI := [][]float64{
+		{0.96, 0.98, 0.98, 0.98, 0.96, 0.96, 0.94, 0.94},
+		{0.98, 0.96, 0.96, 0.98, 0.94, 0.96, 0.96, 0.94},
+		{0.96, 0.96, 0.96, 0.98, 0.94, 0.94, 0.96, 0.96},
+	}
+	in := &ltc.Instance{
+		Epsilon: 0.2,
+		K:       2,
+		Model:   ltc.MatrixAccuracy{Vals: tableI},
+		MinAcc:  0.66,
+	}
+	for t := 0; t < 3; t++ {
+		in.Tasks = append(in.Tasks, ltc.Task{ID: ltc.TaskID(t)})
+	}
+	for w := 1; w <= 8; w++ {
+		in.Workers = append(in.Workers, ltc.Worker{Index: w, Acc: 0.9})
+	}
+
+	res, err := ltc.Solve(in, ltc.AAM)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("latency:", res.Latency)
+	fmt.Println("completed:", res.Completed)
+	// Output:
+	// latency: 6
+	// completed: true
+}
+
+// ExampleNewSession streams workers one at a time, as a live platform
+// would, and stops as soon as every task is complete.
+func ExampleNewSession() {
+	cfg := ltc.DefaultWorkload().Scale(0.005) // 15 tasks, 200 workers
+	cfg.Seed = 11
+	in, err := cfg.Generate()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sess, err := ltc.NewSession(in, ltc.LAF)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, w := range in.Workers {
+		if sess.Done() {
+			break
+		}
+		if _, err := sess.Arrive(w); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	done, total := sess.Progress()
+	fmt.Printf("completed %d/%d tasks\n", done, total)
+	// Output:
+	// completed 15/15 tasks
+}

@@ -1,0 +1,56 @@
+// Command cityscale runs the paper's real-dataset experiment shape (§V-B.6)
+// on a scaled-down simulated New York check-in trace: all five evaluated
+// algorithms on the same instance, reporting latency, runtime and memory —
+// the three rows of Fig. 4's city columns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ltc"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "fraction of the full Table V trace (1.0 = 227k check-ins)")
+	epsilon := flag.Float64("epsilon", 0.10, "tolerable error rate")
+	seed := flag.Uint64("seed", 20180416, "trace generation seed")
+	flag.Parse()
+
+	cfg := ltc.NewYork().Scale(*scale)
+	cfg.Epsilon = *epsilon
+	cfg.Seed = *seed
+	fmt.Printf("generating %s trace at scale %g: %d tasks, %d check-ins, %d users...\n",
+		cfg.Name, *scale, cfg.NumTasks, cfg.NumCheckins, cfg.NumUsers)
+	trace, err := ltc.GenerateCity(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := trace.Instance
+	fmt.Printf("convex hull of check-ins has %d vertices; δ = %.2f\n\n", len(trace.Hull), in.Delta())
+
+	ci := ltc.NewCandidateIndex(in)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tkind\tlatency\truntime\talloc MB\tassignments")
+	for _, algo := range ltc.Algorithms() {
+		res, err := ltc.Solve(in, algo, ltc.SolveOptions{Index: ci, Seed: *seed})
+		if err != nil {
+			log.Fatalf("%s: %v", algo, err)
+		}
+		kind := "offline"
+		if algo.IsOnline() {
+			kind = "online"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%.1f\t%d\n",
+			algo, kind, res.Latency, res.Elapsed.Round(1000), // µs resolution
+			float64(res.AllocBytes)/(1<<20), len(res.Arrangement.Pairs))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexpected shape (paper Fig. 4c/4g/4k): MCF-LTC best offline latency,")
+	fmt.Println("AAM best online latency, LAF cheapest runtime, MCF-LTC most expensive.")
+}

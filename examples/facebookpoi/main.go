@@ -1,0 +1,91 @@
+// Command facebookpoi replays the paper's motivating scenario (§I, Fig. 1):
+// a social platform wants opening-hours style binary facts about three Hong
+// Kong POIs — Think Cafe, Yee Shun Restaurant and SOGO — and pushes
+// questions to users as they check in nearby. Historical accuracies follow
+// Table I; the stream is the paper's w1..w8.
+//
+// The example runs the two proposed online algorithms side by side through
+// the streaming Session API and then audits the answer quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltc"
+)
+
+var poiNames = []string{"Think Cafe", "Yee Shun Restaurant", "SOGO Hong Kong"}
+
+// tableI is the paper's Table I: predicted accuracy of worker w (column) on
+// task t (row).
+var tableI = [][]float64{
+	{0.96, 0.98, 0.98, 0.98, 0.96, 0.96, 0.94, 0.94},
+	{0.98, 0.96, 0.96, 0.98, 0.94, 0.96, 0.96, 0.94},
+	{0.96, 0.96, 0.96, 0.98, 0.94, 0.94, 0.96, 0.96},
+}
+
+func buildInstance() *ltc.Instance {
+	in := &ltc.Instance{
+		Epsilon: 0.2, // Example 2's tolerable error rate: δ = 2·ln 5 ≈ 3.22
+		K:       2,   // every user answers at most two questions per check-in
+		Model:   ltc.MatrixAccuracy{Vals: tableI},
+		MinAcc:  0.66,
+	}
+	for t := range poiNames {
+		in.Tasks = append(in.Tasks, ltc.Task{ID: ltc.TaskID(t)})
+	}
+	for w := 1; w <= 8; w++ {
+		in.Workers = append(in.Workers, ltc.Worker{Index: w, Acc: 0.9})
+	}
+	return in
+}
+
+func streamWith(algo ltc.Algorithm) {
+	in := buildInstance()
+	sess, err := ltc.NewSession(in, algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- streaming check-ins through %s ---\n", algo)
+	for _, w := range in.Workers {
+		if sess.Done() {
+			break
+		}
+		assigned, err := sess.Arrive(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(assigned) == 0 {
+			fmt.Printf("w%d checks in: no questions pushed\n", w.Index)
+			continue
+		}
+		names := make([]string, len(assigned))
+		for i, t := range assigned {
+			names[i] = poiNames[t]
+		}
+		done, total := sess.Progress()
+		fmt.Printf("w%d checks in: asked about %v (%d/%d POIs complete)\n",
+			w.Index, names, done, total)
+	}
+	fmt.Printf("%s latency: all POIs verified after %d check-ins\n", algo, sess.Latency())
+
+	rep := ltc.VerifyQuality(in, sess.Arrangement(), 500, 42)
+	fmt.Printf("%s empirical error: %.4f (tolerable ε = %.2f)\n", algo, rep.ErrorRate, in.Epsilon)
+}
+
+func main() {
+	fmt.Println("Latency-oriented task completion: Facebook POI scenario (paper §I)")
+	fmt.Printf("POIs: %v\n", poiNames)
+	// LAF needs all 8 check-ins (paper Example 3); AAM finishes earlier.
+	streamWith(ltc.LAF)
+	streamWith(ltc.AAM)
+
+	// With hindsight (offline), how well could the platform have done?
+	in := buildInstance()
+	exact, err := ltc.Solve(in, ltc.Exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffline optimum for comparison: latency %d\n", exact.Latency)
+}

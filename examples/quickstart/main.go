@@ -1,0 +1,47 @@
+// Command quickstart is the smallest end-to-end use of the ltc library:
+// generate a laptop-sized synthetic workload (paper Table IV, scaled),
+// solve it with the AAM online algorithm, and verify the answer quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ltc"
+)
+
+func main() {
+	// A 1% scale Table IV workload: 30 tasks, 400 workers on a 100×100
+	// grid, capacity K = 6, tolerable error rate ε = 0.1.
+	cfg := ltc.DefaultWorkload().Scale(0.01)
+	cfg.Seed = 2018
+	in, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %d tasks, %d workers, K=%d, ε=%.2f (δ=%.2f)\n",
+		len(in.Tasks), len(in.Workers), in.K, in.Epsilon, in.Delta())
+
+	// Solve online with AAM (Algorithm 3): workers arrive one by one and
+	// each is assigned up to K tasks immediately.
+	res, err := ltc.Solve(in, ltc.AAM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AAM completed all tasks with latency %d (last worker used of %d seen)\n",
+		res.Latency, res.WorkersSeen)
+	fmt.Printf("assignments: %d, runtime: %v\n", len(res.Arrangement.Pairs), res.Elapsed)
+
+	// Replay the arrangement with simulated answers and weighted majority
+	// voting: the empirical error must sit below ε.
+	rep := ltc.VerifyQuality(in, res.Arrangement, 200, 1)
+	fmt.Printf("empirical error over %d trials: %.4f (ε = %.2f) — %s\n",
+		rep.Trials, rep.ErrorRate, in.Epsilon, verdict(rep.ErrorRate < in.Epsilon))
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "quality guarantee holds"
+	}
+	return "QUALITY VIOLATION"
+}

@@ -1,0 +1,74 @@
+// Command tradeoff sweeps the tolerable error rate ε and plots (in text)
+// the quality-latency trade-off that motivates the whole paper: a stricter
+// ε raises the Hoeffding threshold δ = 2·ln(1/ε), which needs more workers
+// per task (higher latency) but yields lower empirical answer error. It
+// also compares the paper's model-weighted vote against a model-free EM
+// truth inference on the same answers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"ltc"
+)
+
+func main() {
+	cfg := ltc.DefaultWorkload().Scale(0.02) // 60 tasks, 800 workers
+	cfg.Seed = 404
+	base, err := cfg.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quality-latency trade-off on %d tasks / %d workers (K=%d), AAM online\n\n",
+		len(base.Tasks), len(base.Workers), base.K)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ε\tδ\tlatency\tassignments\tweighted-vote err\tEM err")
+	for _, eps := range []float64{0.30, 0.22, 0.14, 0.10, 0.06, 0.03} {
+		in := *base // tasks/workers shared; ε varies
+		in.Epsilon = eps
+
+		res, err := ltc.Solve(&in, ltc.AAM)
+		if err != nil {
+			log.Fatalf("ε=%.2f: %v", eps, err)
+		}
+		rep := ltc.VerifyQuality(&in, res.Arrangement, 300, 7)
+		emErr := emErrorRate(&in, res.Arrangement, 300, 7)
+		fmt.Fprintf(w, "%.2f\t%.2f\t%d\t%d\t%.4f\t%.4f\n",
+			eps, in.Delta(), res.Latency, len(res.Arrangement.Pairs), rep.ErrorRate, emErr)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreading the table: moving down, the platform demands lower error (ε),")
+	fmt.Println("pays for it with more workers (latency), and the measured error of both")
+	fmt.Println("aggregation schemes stays below the corresponding ε — the LTC guarantee.")
+}
+
+// emErrorRate replays the arrangement like ltc.VerifyQuality but aggregates
+// with model-free EM truth inference instead of the model-weighted vote.
+func emErrorRate(in *ltc.Instance, arr *ltc.Arrangement, trials int, seed uint64) float64 {
+	wrong, total := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		labels, truth, answered, err := ltc.InferTruthEM(in, arr, seed+uint64(trial))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for t, l := range labels {
+			if !answered[t] {
+				continue
+			}
+			total++
+			if l != truth[t] {
+				wrong++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(total)
+}

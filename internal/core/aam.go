@@ -1,0 +1,132 @@
+package core
+
+import (
+	"ltc/internal/model"
+	"ltc/internal/pqueue"
+)
+
+// AAMStrategy selects the scoring rule AAM uses for an arriving worker.
+type AAMStrategy int
+
+const (
+	// StrategyHybrid is Algorithm 3 as published: Largest Gain First while
+	// the average demand dominates, Largest Remaining First once single
+	// difficult tasks become the bottleneck.
+	StrategyHybrid AAMStrategy = iota
+	// StrategyLGFOnly always scores by gain (ablation).
+	StrategyLGFOnly
+	// StrategyLRFOnly always scores by remaining need (ablation).
+	StrategyLRFOnly
+)
+
+// AAM is the Average And Maximum hybrid online algorithm (Algorithm 3),
+// inspired by McNaughton's rule: the makespan is driven by both the average
+// load and the single longest job. Per arriving worker it computes
+//
+//	avg = Σ_t (δ − S[t]) / K   and   maxRemain = max_t (δ − S[t])
+//
+// and scores candidate tasks by gain min{Acc*(w,t), δ − S[t]} (LGF) when
+// avg ≥ maxRemain, or by remaining need δ − S[t] (LRF) otherwise.
+// Competitive ratio 7.738 under the paper's assumptions (Theorem 6).
+type AAM struct {
+	in       *model.Instance
+	ci       *model.CandidateIndex
+	state    *taskState
+	strategy AAMStrategy
+	topk     *pqueue.TopK[scoredCandidate]
+	cands    []model.Candidate
+	out      []model.TaskID
+
+	// lgfArrivals / lrfArrivals count strategy choices, exposed for the
+	// ablation experiments.
+	lgfArrivals int
+	lrfArrivals int
+}
+
+type scoredCandidate struct {
+	model.Candidate
+	score float64
+}
+
+// NewAAM returns a fresh AAM solver with the published hybrid strategy.
+func NewAAM(in *model.Instance, ci *model.CandidateIndex) *AAM {
+	return NewAAMWithStrategy(in, ci, StrategyHybrid)
+}
+
+// NewAAMWithStrategy returns an AAM solver with an explicit strategy,
+// used by the LGF/LRF ablation benchmarks.
+func NewAAMWithStrategy(in *model.Instance, ci *model.CandidateIndex, s AAMStrategy) *AAM {
+	return &AAM{
+		in:       in,
+		ci:       ci,
+		state:    newTaskState(len(in.Tasks), in.Delta()),
+		strategy: s,
+		// Ties keep the first-seen task, matching Example 4's walk-through.
+		topk: pqueue.NewTopK(in.K, func(a, b scoredCandidate) bool {
+			return a.score < b.score
+		}),
+	}
+}
+
+// Name implements Online.
+func (a *AAM) Name() string {
+	switch a.strategy {
+	case StrategyLGFOnly:
+		return "AAM-LGF"
+	case StrategyLRFOnly:
+		return "AAM-LRF"
+	default:
+		return "AAM"
+	}
+}
+
+// Done implements Online.
+func (a *AAM) Done() bool { return a.state.allDone() }
+
+// StrategyCounts reports how many arrivals used LGF and LRF scoring.
+func (a *AAM) StrategyCounts() (lgf, lrf int) { return a.lgfArrivals, a.lrfArrivals }
+
+// Arrive implements Online (Algorithm 3 lines 4-15).
+func (a *AAM) Arrive(w model.Worker) []model.TaskID {
+	if a.state.allDone() {
+		return nil
+	}
+	useLGF := true
+	switch a.strategy {
+	case StrategyLGFOnly:
+		useLGF = true
+	case StrategyLRFOnly:
+		useLGF = false
+	default:
+		total, maxRemain := a.state.totalNeed()
+		avg := total / float64(a.in.K)
+		useLGF = avg >= maxRemain
+	}
+	if useLGF {
+		a.lgfArrivals++
+	} else {
+		a.lrfArrivals++
+	}
+
+	a.cands = a.ci.Candidates(w, a.cands[:0])
+	a.topk.Reset()
+	for _, c := range a.cands {
+		if a.state.done(c.Task) {
+			continue
+		}
+		score := a.state.need(c.Task) // LRF: δ − S[t]
+		if useLGF {
+			if c.AccStar < score {
+				score = c.AccStar // LGF: min{Acc*, δ − S[t]}
+			}
+		}
+		a.topk.Offer(scoredCandidate{Candidate: c, score: score})
+	}
+	a.out = a.out[:0]
+	for a.topk.Len() > 0 {
+		c := a.topk.PopMin()
+		a.state.add(c.Task, c.AccStar)
+		a.out = append(a.out, c.Task)
+	}
+	return a.out
+}

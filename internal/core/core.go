@@ -1,0 +1,138 @@
+// Package core implements the algorithms of "Latency-oriented Task
+// Completion via Spatial Crowdsourcing" (Zeng et al., ICDE 2018):
+//
+//   - Offline (all worker information known in advance, §III):
+//     MCF-LTC (Algorithm 1, minimum-cost-flow batches, 7.5-approximation)
+//     and the Base-off greedy baseline from the evaluation.
+//   - Online (workers arrive one by one, assignments irrevocable, §IV):
+//     LAF — Largest Acc* First (Algorithm 2, 7.967-competitive),
+//     AAM — Average And Maximum (Algorithm 3, 7.738-competitive),
+//     and the Random baseline from the evaluation.
+//   - Exact: a branch-and-bound solver for tiny instances, used to measure
+//     empirical approximation ratios (the problem is NP-hard, Theorem 1).
+//
+// All algorithms consume a model.Instance plus a shared
+// model.CandidateIndex and produce a model.Arrangement whose Latency() is
+// the paper's objective MinMax(M).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"ltc/internal/model"
+)
+
+// Offline is an algorithm that sees the whole instance at once.
+type Offline interface {
+	Name() string
+	Solve(in *model.Instance, ci *model.CandidateIndex) (*model.Arrangement, error)
+}
+
+// Online is an algorithm fed one worker at a time. Implementations must
+// decide each worker's assignment immediately and irrevocably (the online
+// LTC temporal constraint) using only the workers seen so far.
+type Online interface {
+	Name() string
+	// Arrive offers the next worker and returns the tasks assigned to it
+	// (possibly none). Workers must be offered in arrival order.
+	Arrive(w model.Worker) []model.TaskID
+	// Done reports whether every task has reached the quality threshold.
+	Done() bool
+}
+
+// OnlineFactory builds a fresh Online solver bound to an instance. The
+// candidate index must have been built for the same instance.
+type OnlineFactory func(in *model.Instance, ci *model.CandidateIndex) Online
+
+// Result captures one algorithm run with the paper's three metrics:
+// effectiveness (Latency, the max arrival index used), and efficiency
+// (Elapsed wall time, AllocBytes heap allocation delta).
+type Result struct {
+	Algorithm   string
+	Arrangement *model.Arrangement
+	Latency     int
+	Completed   bool
+	WorkersSeen int
+	Elapsed     time.Duration
+	AllocBytes  int64
+}
+
+// ErrIncomplete is returned by the runners when the worker stream was
+// exhausted before every task reached δ. The paper assumes away this case;
+// the runners surface it instead so harnesses can decide.
+var ErrIncomplete = errors.New("ltc: workers exhausted before all tasks completed")
+
+// RunOffline executes an offline algorithm and measures its cost.
+func RunOffline(in *model.Instance, ci *model.CandidateIndex, algo Offline) (*Result, error) {
+	start := time.Now()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	arr, err := algo.Solve(in, ci)
+	runtime.ReadMemStats(&msAfter)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("ltc: %s: %w", algo.Name(), err)
+	}
+	res := &Result{
+		Algorithm:   algo.Name(),
+		Arrangement: arr,
+		Latency:     arr.Latency(),
+		WorkersSeen: len(in.Workers),
+		Elapsed:     elapsed,
+		AllocBytes:  int64(msAfter.TotalAlloc - msBefore.TotalAlloc),
+	}
+	res.Completed = completedAll(in, arr)
+	if !res.Completed {
+		return res, ErrIncomplete
+	}
+	return res, nil
+}
+
+// RunOnline streams the instance's workers through a fresh Online solver
+// until it reports Done or the stream ends, and measures the cost.
+func RunOnline(in *model.Instance, ci *model.CandidateIndex, factory OnlineFactory) (*Result, error) {
+	start := time.Now()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	algo := factory(in, ci)
+	arr := model.NewArrangement(len(in.Tasks))
+	seen := 0
+	for _, w := range in.Workers {
+		if algo.Done() {
+			break
+		}
+		seen++
+		for _, t := range algo.Arrive(w) {
+			acc := in.Model.Predict(w, in.Tasks[t])
+			arr.Add(w.Index, t, model.AccStar(acc))
+		}
+	}
+	runtime.ReadMemStats(&msAfter)
+	res := &Result{
+		Algorithm:   algo.Name(),
+		Arrangement: arr,
+		Latency:     arr.Latency(),
+		Completed:   algo.Done(),
+		WorkersSeen: seen,
+		Elapsed:     time.Since(start),
+		AllocBytes:  int64(msAfter.TotalAlloc - msBefore.TotalAlloc),
+	}
+	if !res.Completed {
+		return res, ErrIncomplete
+	}
+	return res, nil
+}
+
+func completedAll(in *model.Instance, arr *model.Arrangement) bool {
+	delta := in.Delta()
+	for _, s := range arr.Accumulated {
+		if !model.Completed(s, delta) {
+			return false
+		}
+	}
+	return true
+}

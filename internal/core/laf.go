@@ -1,0 +1,61 @@
+package core
+
+import (
+	"ltc/internal/model"
+	"ltc/internal/pqueue"
+)
+
+// LAF is the Largest Acc* First online algorithm (Algorithm 2). For every
+// arriving worker it assigns the K eligible, still-uncompleted tasks with
+// the largest Acc*(w, t), maintained in a bounded top-K heap. Competitive
+// ratio 7.967 under the paper's assumptions (Theorem 5).
+type LAF struct {
+	in    *model.Instance
+	ci    *model.CandidateIndex
+	state *taskState
+	topk  *pqueue.TopK[model.Candidate]
+	cands []model.Candidate
+	out   []model.TaskID
+}
+
+// NewLAF returns a fresh LAF solver for the instance.
+func NewLAF(in *model.Instance, ci *model.CandidateIndex) *LAF {
+	return &LAF{
+		in:    in,
+		ci:    ci,
+		state: newTaskState(len(in.Tasks), in.Delta()),
+		// Rank candidates by Acc*; ties keep the first-seen task (lower
+		// TaskID), matching the paper's Example 3 walk-through.
+		topk: pqueue.NewTopK(in.K, func(a, b model.Candidate) bool {
+			return a.AccStar < b.AccStar
+		}),
+	}
+}
+
+// Name implements Online.
+func (l *LAF) Name() string { return "LAF" }
+
+// Done implements Online.
+func (l *LAF) Done() bool { return l.state.allDone() }
+
+// Arrive implements Online (Algorithm 2 lines 4-10).
+func (l *LAF) Arrive(w model.Worker) []model.TaskID {
+	if l.state.allDone() {
+		return nil
+	}
+	l.cands = l.ci.Candidates(w, l.cands[:0])
+	l.topk.Reset()
+	for _, c := range l.cands {
+		if l.state.done(c.Task) {
+			continue
+		}
+		l.topk.Offer(c)
+	}
+	l.out = l.out[:0]
+	for l.topk.Len() > 0 {
+		c := l.topk.PopMin()
+		l.state.add(c.Task, c.AccStar)
+		l.out = append(l.out, c.Task)
+	}
+	return l.out
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"ltc/internal/model"
+	"ltc/internal/stats"
+)
+
+// Random is the naive online baseline of the evaluation (§V-A): when a
+// worker arrives, up to K of the nearby (eligible) uncompleted tasks are
+// assigned uniformly at random.
+type Random struct {
+	in    *model.Instance
+	ci    *model.CandidateIndex
+	state *taskState
+	rng   *rand.Rand
+	cands []model.Candidate
+	out   []model.TaskID
+}
+
+// NewRandom returns a fresh Random solver seeded deterministically.
+func NewRandom(in *model.Instance, ci *model.CandidateIndex, seed uint64) *Random {
+	return &Random{
+		in:    in,
+		ci:    ci,
+		state: newTaskState(len(in.Tasks), in.Delta()),
+		rng:   stats.NewRand(seed),
+	}
+}
+
+// Name implements Online.
+func (r *Random) Name() string { return "Random" }
+
+// Done implements Online.
+func (r *Random) Done() bool { return r.state.allDone() }
+
+// Arrive implements Online.
+func (r *Random) Arrive(w model.Worker) []model.TaskID {
+	if r.state.allDone() {
+		return nil
+	}
+	r.cands = r.ci.Candidates(w, r.cands[:0])
+	// Compact to uncompleted candidates in place.
+	open := r.cands[:0]
+	for _, c := range r.cands {
+		if !r.state.done(c.Task) {
+			open = append(open, c)
+		}
+	}
+	// Partial Fisher-Yates: draw min(K, len) without replacement.
+	k := r.in.K
+	if k > len(open) {
+		k = len(open)
+	}
+	r.out = r.out[:0]
+	for i := 0; i < k; i++ {
+		j := i + r.rng.IntN(len(open)-i)
+		open[i], open[j] = open[j], open[i]
+		r.state.add(open[i].Task, open[i].AccStar)
+		r.out = append(r.out, open[i].Task)
+	}
+	return r.out
+}

@@ -1,0 +1,64 @@
+package core
+
+import "ltc/internal/model"
+
+// taskState is the shared bookkeeping of every LTC algorithm: the per-task
+// accumulated Acc* credit S[t] (line "S stores accumulated value for each
+// task" of Algorithms 1-3) plus a count of tasks still below δ so AllDone
+// is O(1).
+type taskState struct {
+	delta     float64
+	s         []float64
+	remaining int
+}
+
+func newTaskState(numTasks int, delta float64) *taskState {
+	return &taskState{
+		delta:     delta,
+		s:         make([]float64, numTasks),
+		remaining: numTasks,
+	}
+}
+
+// done reports whether task t has reached the quality threshold.
+func (ts *taskState) done(t model.TaskID) bool {
+	return model.Completed(ts.s[t], ts.delta)
+}
+
+// add credits task t and reports whether this credit completed it.
+func (ts *taskState) add(t model.TaskID, credit float64) bool {
+	was := ts.done(t)
+	ts.s[t] += credit
+	if !was && ts.done(t) {
+		ts.remaining--
+		return true
+	}
+	return false
+}
+
+// allDone reports whether every task has reached δ.
+func (ts *taskState) allDone() bool { return ts.remaining == 0 }
+
+// need returns max(0, δ − S[t]): the credit task t still needs.
+func (ts *taskState) need(t model.TaskID) float64 {
+	n := ts.delta - ts.s[t]
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// totalNeed returns Σ_t max(0, δ − S[t]) and the largest single-task need —
+// the "average × K" numerator and "maximum" of AAM's switching rule.
+func (ts *taskState) totalNeed() (sum, maxNeed float64) {
+	for t := range ts.s {
+		n := ts.need(model.TaskID(t))
+		if n > 0 {
+			sum += n
+			if n > maxNeed {
+				maxNeed = n
+			}
+		}
+	}
+	return sum, maxNeed
+}

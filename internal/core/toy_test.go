@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ltc/internal/model"
+)
+
+// toyInstance reproduces the paper's running example: Table I's predicted
+// accuracies for 8 workers × 3 tasks, capacity K = 2, tolerable error rate
+// ε = 0.2 (δ = 2·ln 5 ≈ 3.2189) as fixed in Example 2.
+func toyInstance() *model.Instance {
+	// Rows are tasks t1..t3, columns workers w1..w8 (Table I).
+	table := [][]float64{
+		{0.96, 0.98, 0.98, 0.98, 0.96, 0.96, 0.94, 0.94},
+		{0.98, 0.96, 0.96, 0.98, 0.94, 0.96, 0.96, 0.94},
+		{0.96, 0.96, 0.96, 0.98, 0.94, 0.94, 0.96, 0.96},
+	}
+	in := &model.Instance{
+		Epsilon: 0.2,
+		K:       2,
+		Model:   model.MatrixAccuracy{Vals: table},
+		MinAcc:  0.66,
+	}
+	for t := 0; t < 3; t++ {
+		in.Tasks = append(in.Tasks, model.Task{ID: model.TaskID(t)})
+	}
+	for w := 1; w <= 8; w++ {
+		in.Workers = append(in.Workers, model.Worker{Index: w, Acc: 0.9})
+	}
+	return in
+}
+
+func mustRunOnline(t *testing.T, in *model.Instance, factory OnlineFactory) *Result {
+	t.Helper()
+	ci := model.NewCandidateIndex(in)
+	res, err := RunOnline(in, ci, factory)
+	if err != nil {
+		t.Fatalf("RunOnline: %v", err)
+	}
+	if err := res.Arrangement.Validate(in, true); err != nil {
+		t.Fatalf("arrangement invalid: %v", err)
+	}
+	return res
+}
+
+func mustRunOffline(t *testing.T, in *model.Instance, algo Offline) *Result {
+	t.Helper()
+	ci := model.NewCandidateIndex(in)
+	res, err := RunOffline(in, ci, algo)
+	if err != nil {
+		t.Fatalf("RunOffline(%s): %v", algo.Name(), err)
+	}
+	if err := res.Arrangement.Validate(in, true); err != nil {
+		t.Fatalf("%s arrangement invalid: %v", algo.Name(), err)
+	}
+	return res
+}
+
+// TestToyLAF reproduces Example 3: LAF keeps assigning t1, t2 to the first
+// four workers, then needs w5..w8 to finish t3 — latency 8.
+func TestToyLAF(t *testing.T) {
+	res := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewLAF(in, ci)
+	})
+	if res.Latency != 8 {
+		t.Fatalf("LAF latency = %d, want 8 (Example 3)", res.Latency)
+	}
+}
+
+// TestToyAAM runs Algorithm 3 exactly as published on the Example 4 input.
+//
+// Our faithful implementation of lines 4-5 (avg = Σ(δ−S[i])/K, maxRemain =
+// max(δ−S[i])) switches to LRF already at w3 — avg = 3.06 < maxRemain =
+// 3.22 — which completes all tasks with latency 6. The paper's walk-through
+// claims the first three workers stay on LGF and reports latency 7, but
+// that contradicts its own switching rule (and its Lemma 6 only guarantees
+// LGF for the first (|T|−K)·δ/K ≈ 1.6 workers). We pin the behaviour of
+// the published pseudo-code.
+func TestToyAAM(t *testing.T) {
+	res := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewAAM(in, ci)
+	})
+	if res.Latency != 6 {
+		t.Fatalf("AAM latency = %d, want 6 (see comment)", res.Latency)
+	}
+	// AAM must beat LAF on this instance, the qualitative claim of
+	// Example 4 ("needs one fewer worker than LAF").
+	laf := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewLAF(in, ci)
+	})
+	if res.Latency >= laf.Latency {
+		t.Fatalf("AAM (%d) must beat LAF (%d)", res.Latency, laf.Latency)
+	}
+}
+
+// TestToyExact: Example 2's setting admits an optimal arrangement using the
+// first 6 workers (each task needs 4 assignments: 3×Acc* ≤ 2.77 < δ, and
+// 12 assignments / K=2 ⇒ ≥ 6 workers).
+func TestToyExact(t *testing.T) {
+	res := mustRunOffline(t, toyInstance(), &Exact{})
+	if res.Latency != 6 {
+		t.Fatalf("Exact latency = %d, want 6", res.Latency)
+	}
+}
+
+// TestToyMCF: MCF-LTC on the Example 2 instance. The paper's Fig. 2b
+// reports 6; a true minimum-cost flow on this network must route through
+// w7 (its two 0.8464 arcs beat w5/w6's 0.7744 alternatives, total credit
+// 10.5328 > any 6-worker flow's), so an exact SSPA yields latency 7. We
+// pin 7 and assert the algorithm's output stays within Example 2's
+// batch (all 8 workers form one batch: ⌊1.5·m⌋ = 9 > 8).
+func TestToyMCF(t *testing.T) {
+	res := mustRunOffline(t, toyInstance(), &MCFLTC{})
+	if res.Latency != 7 {
+		t.Fatalf("MCF-LTC latency = %d, want 7 (see comment)", res.Latency)
+	}
+}
+
+// TestToyBaseOff: scarcity ties everywhere (every worker eligible for every
+// task) degrade Base-off to first-seen greedy: t1, t2 for w1..w4, then t3
+// needs w5..w8 — latency 8.
+func TestToyBaseOff(t *testing.T) {
+	res := mustRunOffline(t, toyInstance(), BaseOff{})
+	if res.Latency != 8 {
+		t.Fatalf("Base-off latency = %d, want 8", res.Latency)
+	}
+}
+
+// TestToyOrdering checks the qualitative ordering the toy example
+// illustrates: Exact ≤ AAM ≤ MCF-LTC ≤ LAF here.
+func TestToyOrdering(t *testing.T) {
+	exact := mustRunOffline(t, toyInstance(), &Exact{}).Latency
+	mcf := mustRunOffline(t, toyInstance(), &MCFLTC{}).Latency
+	aam := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewAAM(in, ci)
+	}).Latency
+	laf := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewLAF(in, ci)
+	}).Latency
+	if !(exact <= aam && aam <= mcf && mcf <= laf) {
+		t.Fatalf("ordering violated: exact=%d aam=%d mcf=%d laf=%d", exact, aam, mcf, laf)
+	}
+}
+
+// TestToyRandomCompletes: Random must complete the toy instance with any
+// seed; latency is between the optimum (6) and the worker count (8).
+func TestToyRandomCompletes(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		res := mustRunOnline(t, toyInstance(), func(in *model.Instance, ci *model.CandidateIndex) Online {
+			return NewRandom(in, ci, seed)
+		})
+		if res.Latency < 6 || res.Latency > 8 {
+			t.Fatalf("seed %d: Random latency = %d, want within [6, 8]", seed, res.Latency)
+		}
+	}
+}
+
+// TestToyExampleOneQualityThreshold sanity-checks the Example 1 narrative
+// with the simplified sum-of-accuracy aggregation: a quality threshold of
+// 2.92 needs 3 workers of ≥ 0.94 accuracy per task, so 9 assignments, so at
+// best ⌈9/2⌉ = 5 workers — the "optimal is 5" claim.
+func TestToyExampleOneQualityThreshold(t *testing.T) {
+	in := toyInstance()
+	perTask := 3 // ⌈2.92 / max accuracy 0.98⌉
+	assignments := perTask * len(in.Tasks)
+	minWorkers := (assignments + in.K - 1) / in.K
+	if minWorkers != 5 {
+		t.Fatalf("Example 1 lower bound = %d, want 5", minWorkers)
+	}
+}
+
+// TestToyIncompleteStream: truncating the toy instance to 3 workers cannot
+// complete (each task needs ≥ 4 assignments, 3 workers supply ≤ 6 < 12) and
+// the runners must report ErrIncomplete.
+func TestToyIncompleteStream(t *testing.T) {
+	in := toyInstance()
+	in.Workers = in.Workers[:3]
+	ci := model.NewCandidateIndex(in)
+	if _, err := RunOnline(in, ci, func(in *model.Instance, ci *model.CandidateIndex) Online {
+		return NewLAF(in, ci)
+	}); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("online err = %v, want ErrIncomplete", err)
+	}
+	if _, err := RunOffline(in, ci, &MCFLTC{}); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("offline err = %v, want ErrIncomplete", err)
+	}
+}

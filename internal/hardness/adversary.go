@@ -1,0 +1,116 @@
+package hardness
+
+import (
+	"errors"
+	"math"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+)
+
+// CompetitiveLowerBound is Theorem 4's bound: no deterministic online
+// algorithm for LTC has a competitive ratio below 5.5.
+const CompetitiveLowerBound = 5.5
+
+// AdversaryResult reports one play of the Theorem 4 game.
+type AdversaryResult struct {
+	// AlgorithmLatency is the latency the online algorithm incurred on the
+	// punishing instance; OptimalLatency is 2 (the offline optimum: the
+	// first worker serves the other task, the second finishes the first).
+	AlgorithmLatency int
+	OptimalLatency   int
+	// FirstChoice is the task the algorithm gave the first worker.
+	FirstChoice model.TaskID
+}
+
+// Ratio returns the achieved competitive ratio.
+func (r AdversaryResult) Ratio() float64 {
+	return float64(r.AlgorithmLatency) / float64(r.OptimalLatency)
+}
+
+// AdversaryGame plays the Theorem 4 adversary against a deterministic
+// online algorithm. Two tasks, δ = 1 (ε = e^(-1/2)), K = 1. The first
+// worker is perfect on both tasks (Acc* = 1). Whichever task the algorithm
+// assigns it, all later workers are perfect on that (now finished) task and
+// weak on the other (Acc* = 0.1, the worst admissible credit), so the
+// algorithm needs 10 more workers while the offline optimum uses 2.
+//
+// Because the two candidate futures agree on the first worker, running the
+// algorithm on the "punish t0" instance reveals its first choice; if it
+// chose t1 instead, the game is replayed on the "punish t1" instance.
+func AdversaryGame(factory core.OnlineFactory) (AdversaryResult, error) {
+	const futureWorkers = 12 // 10 needed; slack so the stream never runs dry
+	// Guess that the algorithm's first move is t0, i.e. t1 stays open and
+	// is the task to punish. The first worker's view is identical in both
+	// candidate instances, so a deterministic algorithm makes the same
+	// first choice either way; if it actually chose t1, replay with the
+	// adversary punishing t0.
+	res, err := playPunishing(factory, 1, futureWorkers)
+	if err != nil {
+		return AdversaryResult{}, err
+	}
+	if res.FirstChoice == 1 {
+		res, err = playPunishing(factory, 0, futureWorkers)
+		if err != nil {
+			return AdversaryResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// ErrNoFirstAssignment is returned when the algorithm declines to assign
+// the first worker at all (no deterministic greedy under test does).
+var ErrNoFirstAssignment = errors.New("hardness: online algorithm assigned nothing to the perfect first worker")
+
+// playPunishing runs the algorithm on the instance whose later workers are
+// useless for task `punished` being open (perfect on the other task).
+func playPunishing(factory core.OnlineFactory, punished model.TaskID, futureWorkers int) (AdversaryResult, error) {
+	in := adversarialInstance(punished, futureWorkers)
+	ci := model.NewCandidateIndex(in)
+	algo := factory(in, ci)
+	first := algo.Arrive(in.Workers[0])
+	if len(first) == 0 {
+		return AdversaryResult{}, ErrNoFirstAssignment
+	}
+	res := AdversaryResult{FirstChoice: first[0], OptimalLatency: 2}
+	latency := in.Workers[0].Index
+	for _, w := range in.Workers[1:] {
+		if algo.Done() {
+			break
+		}
+		if assigned := algo.Arrive(w); len(assigned) > 0 {
+			latency = w.Index
+		}
+	}
+	if !algo.Done() {
+		return AdversaryResult{}, core.ErrIncomplete
+	}
+	res.AlgorithmLatency = latency
+	return res, nil
+}
+
+// adversarialInstance builds Theorem 4's two-task instance where workers
+// after the first are perfect on task 1−punished... i.e. perfect on the
+// task the algorithm completed first and weak (Acc* = 0.1) on `punished`.
+func adversarialInstance(punished model.TaskID, futureWorkers int) *model.Instance {
+	nWorkers := 1 + futureWorkers
+	weak := (1 + math.Sqrt(0.1)) / 2 // AccStar(weak) = 0.1
+	vals := [][]float64{make([]float64, nWorkers), make([]float64, nWorkers)}
+	vals[0][0], vals[1][0] = 1, 1 // the first worker is perfect on both
+	other := 1 - punished
+	for w := 1; w < nWorkers; w++ {
+		vals[other][w] = 1
+		vals[punished][w] = weak
+	}
+	in := &model.Instance{
+		Tasks:   []model.Task{{ID: 0}, {ID: 1}},
+		Epsilon: math.Exp(-0.5), // δ = 1
+		K:       1,
+		Model:   model.MatrixAccuracy{Vals: vals},
+		MinAcc:  0.5,
+	}
+	for w := 1; w <= nWorkers; w++ {
+		in.Workers = append(in.Workers, model.Worker{Index: w, Acc: 1})
+	}
+	return in
+}

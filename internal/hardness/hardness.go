@@ -1,0 +1,204 @@
+// Package hardness turns the paper's theory into executable artifacts:
+//
+//   - Theorem 1: the offline LTC problem is NP-hard, by reduction from
+//     3-partition. Reduce builds the LTC instance of the proof, and
+//     DecideViaLTC answers the 3-partition question by solving it.
+//   - Theorem 2: latency bounds via McNaughton's rule. When every
+//     assignment carries the same credit r, McNaughtonArrange produces an
+//     optimal arrangement in polynomial time, and LatencyLowerBound /
+//     LatencyUpperBound give the |T|δ/K and 10|T|δ/K + |T|/K + 1 bounds
+//     used throughout the approximation analysis.
+//   - Theorem 4: no deterministic online algorithm is better than
+//     5.5-competitive. AdversaryGame plays the proof's adversary against
+//     any Online solver and reports the achieved ratio.
+package hardness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+)
+
+// ThreePartition is an instance of the 3-partition problem: 3m positive
+// integers summing to m·B, each strictly between B/4 and B/2. The question
+// is whether X can be split into m triples each summing exactly to B.
+type ThreePartition struct {
+	X []int
+	B int
+}
+
+// Validation errors for ThreePartition.
+var (
+	ErrNotTriples = errors.New("hardness: |X| must be a positive multiple of 3")
+	ErrBadSum     = errors.New("hardness: sum(X) must equal m·B")
+	ErrBadRange   = errors.New("hardness: every x must satisfy B/4 < x < B/2")
+)
+
+// M returns the number of triples m.
+func (tp ThreePartition) M() int { return len(tp.X) / 3 }
+
+// Validate checks the 3-partition well-formedness conditions.
+func (tp ThreePartition) Validate() error {
+	if len(tp.X) == 0 || len(tp.X)%3 != 0 {
+		return ErrNotTriples
+	}
+	m := tp.M()
+	sum := 0
+	for _, x := range tp.X {
+		sum += x
+		// Strict inequalities with integer arithmetic: 4x > B and 4x < 2B.
+		if 4*x <= tp.B || 2*x >= tp.B {
+			return fmt.Errorf("%w: x=%d, B=%d", ErrBadRange, x, tp.B)
+		}
+	}
+	if sum != m*tp.B {
+		return fmt.Errorf("%w: sum=%d, want %d", ErrBadSum, sum, m*tp.B)
+	}
+	return nil
+}
+
+// Reduce builds the offline LTC instance of Theorem 1's proof: m tasks with
+// ε = e^(-1/2) (δ = 1), 3m workers with capacity K = 1, and
+// Acc*(w_i, t) = x_i / B for every task t. The 3-partition instance is a
+// YES instance iff the LTC instance admits a feasible arrangement (which
+// then necessarily uses all 3m workers, latency 3m).
+func Reduce(tp ThreePartition) (*model.Instance, error) {
+	if err := tp.Validate(); err != nil {
+		return nil, err
+	}
+	m := tp.M()
+	in := &model.Instance{
+		Epsilon: math.Exp(-0.5), // δ = 2·ln(1/ε) = 1
+		K:       1,
+		MinAcc:  0.5,
+	}
+	// Acc with AccStar(Acc) = x/B: Acc = (1 + sqrt(x/B)) / 2.
+	// x/B ∈ (1/4, 1/2) ⇒ Acc ∈ (0.75, 0.854): all pairs eligible.
+	vals := make([][]float64, m)
+	for t := 0; t < m; t++ {
+		vals[t] = make([]float64, len(tp.X))
+		for w, x := range tp.X {
+			vals[t][w] = (1 + math.Sqrt(float64(x)/float64(tp.B))) / 2
+		}
+		in.Tasks = append(in.Tasks, model.Task{ID: model.TaskID(t)})
+	}
+	in.Model = model.MatrixAccuracy{Vals: vals}
+	for w := 1; w <= len(tp.X); w++ {
+		in.Workers = append(in.Workers, model.Worker{Index: w, Acc: 1})
+	}
+	return in, nil
+}
+
+// DecideViaLTC answers the 3-partition question by solving the reduced LTC
+// instance exactly: YES iff a feasible complete arrangement exists.
+// maxNodes bounds the branch-and-bound search (0 = default).
+func DecideViaLTC(tp ThreePartition, maxNodes int64) (bool, error) {
+	in, err := Reduce(tp)
+	if err != nil {
+		return false, err
+	}
+	ci := model.NewCandidateIndex(in)
+	solver := &core.Exact{MaxNodes: maxNodes}
+	arr, err := solver.Solve(in, ci)
+	switch {
+	case errors.Is(err, model.ErrInfeasible):
+		return false, nil
+	case err != nil:
+		return false, err
+	}
+	// A feasible arrangement certifies YES; sanity-check it.
+	if err := arr.Validate(in, true); err != nil {
+		return false, fmt.Errorf("hardness: reduction produced invalid certificate: %w", err)
+	}
+	return true, nil
+}
+
+// RecoverPartition extracts the m triples from a feasible arrangement of a
+// reduced instance: triple i is the worker positions assigned to task i.
+func RecoverPartition(tp ThreePartition, arr *model.Arrangement) ([][]int, error) {
+	m := tp.M()
+	triples := make([][]int, m)
+	for _, p := range arr.Pairs {
+		triples[p.Task] = append(triples[p.Task], tp.X[p.Worker-1])
+	}
+	for t, triple := range triples {
+		if len(triple) != 3 {
+			return nil, fmt.Errorf("hardness: task %d has %d workers, want 3", t, len(triple))
+		}
+		sum := 0
+		for _, x := range triple {
+			sum += x
+		}
+		if sum != tp.B {
+			return nil, fmt.Errorf("hardness: triple %d sums to %d, want %d", t, sum, tp.B)
+		}
+	}
+	return triples, nil
+}
+
+// LatencyLowerBound returns Theorem 2's lower bound |T|·δ/K on the optimal
+// latency (assuming |T| ≥ K).
+func LatencyLowerBound(numTasks, k int, delta float64) float64 {
+	return float64(numTasks) * delta / float64(k)
+}
+
+// LatencyUpperBound returns Theorem 2's upper bound 10·|T|·δ/K + |T|/K + 1,
+// derived from the worst admissible per-assignment credit Acc* > 0.1.
+func LatencyUpperBound(numTasks, k int, delta float64) float64 {
+	t, kk := float64(numTasks), float64(k)
+	return 10*t*delta/kk + t/kk + 1
+}
+
+// McNaughtonLatency returns the optimal latency when every assignment
+// carries the same credit r: max{⌈|T|·⌈δ/r⌉/K⌉, ⌈δ/r⌉} (Theorem 2's
+// McNaughton argument). r must be positive.
+func McNaughtonLatency(numTasks, k int, delta, r float64) int {
+	if r <= 0 {
+		panic("hardness: credit r must be positive")
+	}
+	perTask := int(math.Ceil(delta / r))
+	if perTask < 1 {
+		perTask = 1
+	}
+	total := numTasks * perTask
+	latency := (total + k - 1) / k
+	if perTask > latency {
+		latency = perTask
+	}
+	return latency
+}
+
+// McNaughtonArrange builds an optimal arrangement for a constant-credit
+// instance (model.ConstantAccuracy): each task is replicated ⌈δ/r⌉ times
+// and the copies are dealt round-robin over the first L workers, where L is
+// McNaughtonLatency. Distinct copies of a task always land on distinct
+// workers because ⌈δ/r⌉ ≤ L.
+func McNaughtonArrange(in *model.Instance) (*model.Arrangement, error) {
+	cm, ok := in.Model.(model.ConstantAccuracy)
+	if !ok {
+		return nil, errors.New("hardness: McNaughtonArrange requires a ConstantAccuracy model")
+	}
+	r := model.AccStar(cm.P)
+	if r <= 0 {
+		return nil, model.ErrInfeasible
+	}
+	delta := in.Delta()
+	perTask := int(math.Ceil(delta / r))
+	latency := McNaughtonLatency(len(in.Tasks), in.K, delta, r)
+	if latency > len(in.Workers) {
+		return nil, model.ErrInfeasible
+	}
+	arr := model.NewArrangement(len(in.Tasks))
+	slot := 0
+	for t := range in.Tasks {
+		for j := 0; j < perTask; j++ {
+			worker := slot%latency + 1
+			arr.Add(worker, model.TaskID(t), r)
+			slot++
+		}
+	}
+	return arr, nil
+}

@@ -1,0 +1,368 @@
+package hardness
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+	"ltc/internal/stats"
+)
+
+// yesInstance: B=16, X splits into {5,5,6} + {5,5,6}.
+func yesInstance() ThreePartition {
+	return ThreePartition{X: []int{5, 5, 6, 5, 5, 6}, B: 16}
+}
+
+// noInstance: B=16, X={5,5,5,5,5,7} — every triple sums to 15 or 17.
+func noInstance() ThreePartition {
+	return ThreePartition{X: []int{5, 5, 5, 5, 5, 7}, B: 16}
+}
+
+func TestThreePartitionValidate(t *testing.T) {
+	if err := yesInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		tp   ThreePartition
+		want error
+	}{
+		{"empty", ThreePartition{}, ErrNotTriples},
+		{"not multiple of 3", ThreePartition{X: []int{5, 5}, B: 16}, ErrNotTriples},
+		{"bad sum", ThreePartition{X: []int{5, 5, 5}, B: 16}, ErrBadSum},
+		{"x too small", ThreePartition{X: []int{4, 6, 6}, B: 16}, ErrBadRange},
+		{"x too large", ThreePartition{X: []int{8, 5, 5}, B: 16}, ErrBadRange},
+	} {
+		if err := tc.tp.Validate(); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReduceConstruction(t *testing.T) {
+	tp := yesInstance()
+	in, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) != 2 || len(in.Workers) != 6 || in.K != 1 {
+		t.Fatalf("reduced shape: %d tasks, %d workers, K=%d", len(in.Tasks), len(in.Workers), in.K)
+	}
+	if d := in.Delta(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("δ = %v, want 1", d)
+	}
+	// Acc*(w_i, t) must equal x_i / B for every task.
+	for _, task := range in.Tasks {
+		for i, w := range in.Workers {
+			got := model.AccStar(in.Model.Predict(w, task))
+			want := float64(tp.X[i]) / float64(tp.B)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("Acc*(w%d, t%d) = %v, want %v", w.Index, task.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestDecideViaLTCYes(t *testing.T) {
+	ok, err := DecideViaLTC(yesInstance(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("YES instance decided NO")
+	}
+}
+
+func TestDecideViaLTCNo(t *testing.T) {
+	ok, err := DecideViaLTC(noInstance(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("NO instance decided YES")
+	}
+}
+
+func TestRecoverPartition(t *testing.T) {
+	tp := yesInstance()
+	in, err := Reduce(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := model.NewCandidateIndex(in)
+	arr, err := (&core.Exact{}).Solve(in, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples, err := RecoverPartition(tp, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("recovered %d triples", len(triples))
+	}
+	for i, triple := range triples {
+		sum := 0
+		for _, x := range triple {
+			sum += x
+		}
+		if sum != tp.B {
+			t.Fatalf("triple %d = %v sums to %d", i, triple, sum)
+		}
+	}
+}
+
+// TestDecideViaLTCRandom cross-checks the reduction against a brute-force
+// 3-partition decider on random instances.
+func TestDecideViaLTCRandom(t *testing.T) {
+	rng := stats.NewRand(1)
+	decided := map[bool]int{}
+	for trial := 0; trial < 12; trial++ {
+		// Random m=2 instance: 6 integers in (B/4, B/2) summing to 2B.
+		B := 20
+		tp := ThreePartition{B: B}
+		for {
+			xs := make([]int, 6)
+			sum := 0
+			for i := range xs {
+				xs[i] = B/4 + 1 + rng.IntN(B/2-B/4-1)
+				sum += xs[i]
+			}
+			if sum == 2*B {
+				tp.X = xs
+				break
+			}
+		}
+		want := bruteForce3Partition(tp)
+		got, err := DecideViaLTC(tp, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: X=%v B=%d: LTC says %v, brute force %v", trial, tp.X, tp.B, got, want)
+		}
+		decided[got]++
+	}
+	if decided[true] == 0 || decided[false] == 0 {
+		t.Logf("note: random trials were one-sided: %v", decided)
+	}
+}
+
+// bruteForce3Partition decides m=2 instances exhaustively.
+func bruteForce3Partition(tp ThreePartition) bool {
+	x := tp.X
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			for k := j + 1; k < 6; k++ {
+				if x[i]+x[j]+x[k] == tp.B {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestTheorem2Bounds(t *testing.T) {
+	lower := LatencyLowerBound(3, 2, 2.77)
+	upper := LatencyUpperBound(3, 2, 2.77)
+	if lower >= upper {
+		t.Fatalf("bounds inverted: %v >= %v", lower, upper)
+	}
+	if math.Abs(lower-3*2.77/2) > 1e-12 {
+		t.Fatalf("lower = %v", lower)
+	}
+	if math.Abs(upper-(10*3*2.77/2+1.5+1)) > 1e-12 {
+		t.Fatalf("upper = %v", upper)
+	}
+}
+
+func TestMcNaughtonLatencyFormula(t *testing.T) {
+	// δ=2.77, r=1 → 3 assignments per task; 3 tasks, K=2 → ⌈9/2⌉ = 5.
+	if got := McNaughtonLatency(3, 2, 2.77, 1); got != 5 {
+		t.Fatalf("latency = %d, want 5", got)
+	}
+	// Single task: the per-task replication dominates.
+	if got := McNaughtonLatency(1, 8, 2.77, 1); got != 3 {
+		t.Fatalf("latency = %d, want 3", got)
+	}
+}
+
+func TestMcNaughtonLatencyPanicsOnBadCredit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("r <= 0 must panic")
+		}
+	}()
+	McNaughtonLatency(1, 1, 1, 0)
+}
+
+// constInstance builds a ConstantAccuracy instance.
+func constInstance(numTasks, numWorkers, k int, eps, p float64) *model.Instance {
+	in := &model.Instance{
+		Epsilon: eps,
+		K:       k,
+		Model:   model.ConstantAccuracy{P: p},
+		MinAcc:  0.5,
+	}
+	for t := 0; t < numTasks; t++ {
+		in.Tasks = append(in.Tasks, model.Task{ID: model.TaskID(t)})
+	}
+	for w := 1; w <= numWorkers; w++ {
+		in.Workers = append(in.Workers, model.Worker{Index: w, Acc: 1})
+	}
+	return in
+}
+
+func TestMcNaughtonArrangeValidAndOptimal(t *testing.T) {
+	rng := stats.NewRand(7)
+	for trial := 0; trial < 10; trial++ {
+		numTasks := 1 + rng.IntN(4)
+		k := 1 + rng.IntN(3)
+		p := 0.85 + rng.Float64()*0.15
+		in := constInstance(numTasks, 40, k, 0.25, p)
+		arr, err := McNaughtonArrange(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := arr.Validate(in, true); err != nil {
+			t.Fatalf("trial %d: invalid arrangement: %v", trial, err)
+		}
+		want := McNaughtonLatency(numTasks, k, in.Delta(), model.AccStar(p))
+		if got := arr.Latency(); got != want {
+			t.Fatalf("trial %d: latency %d, formula says %d", trial, got, want)
+		}
+		// Optimality: the exact solver cannot beat the formula.
+		ci := model.NewCandidateIndex(in)
+		exact, err := (&core.Exact{}).Solve(in, ci)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		if exact.Latency() != want {
+			t.Fatalf("trial %d: exact %d vs McNaughton %d", trial, exact.Latency(), want)
+		}
+	}
+}
+
+func TestMcNaughtonArrangeErrors(t *testing.T) {
+	in := constInstance(2, 40, 2, 0.25, 0.9)
+	in.Model = model.HistoricalOnly{}
+	if _, err := McNaughtonArrange(in); err == nil {
+		t.Fatal("non-constant model accepted")
+	}
+	in = constInstance(2, 2, 1, 0.25, 0.9) // needs 3 workers per task, has 2
+	if _, err := McNaughtonArrange(in); !errors.Is(err, model.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	in = constInstance(1, 4, 1, 0.25, 0.5) // Acc* = 0: no credit possible
+	if _, err := McNaughtonArrange(in); !errors.Is(err, model.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestExactRespectsLowerBound: on constant-credit instances the optimum
+// never beats Theorem 2's lower bound.
+func TestExactRespectsLowerBound(t *testing.T) {
+	in := constInstance(3, 30, 2, 0.25, 1.0) // Acc* = 1
+	ci := model.NewCandidateIndex(in)
+	arr, err := (&core.Exact{}).Solve(in, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(arr.Latency()) < LatencyLowerBound(3, 2, in.Delta()) {
+		t.Fatalf("optimal latency %d beats the Theorem 2 lower bound", arr.Latency())
+	}
+}
+
+// TestAdversaryAchievesTheorem4Bound: the adversary must force LAF and AAM
+// (deterministic greedy algorithms) to a ratio of at least 5.5.
+func TestAdversaryAchievesTheorem4Bound(t *testing.T) {
+	for name, factory := range map[string]core.OnlineFactory{
+		"LAF": func(in *model.Instance, ci *model.CandidateIndex) core.Online { return core.NewLAF(in, ci) },
+		"AAM": func(in *model.Instance, ci *model.CandidateIndex) core.Online { return core.NewAAM(in, ci) },
+	} {
+		res, err := AdversaryGame(factory)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.OptimalLatency != 2 {
+			t.Fatalf("%s: OPT = %d, want 2", name, res.OptimalLatency)
+		}
+		if res.Ratio() < CompetitiveLowerBound {
+			t.Fatalf("%s: adversary only achieved ratio %.2f < %.2f (latency %d)",
+				name, res.Ratio(), CompetitiveLowerBound, res.AlgorithmLatency)
+		}
+	}
+}
+
+// TestAdversaryPunishesEitherFirstChoice: both branches of the game are
+// reachable — an algorithm that always picks the higher task id triggers
+// the replay path.
+func TestAdversaryPunishesEitherFirstChoice(t *testing.T) {
+	res, err := AdversaryGame(func(in *model.Instance, ci *model.CandidateIndex) core.Online {
+		return &pickLast{in: in, state: make([]float64, len(in.Tasks))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstChoice != 1 {
+		t.Fatalf("pickLast chose %d first", res.FirstChoice)
+	}
+	if res.Ratio() < CompetitiveLowerBound {
+		t.Fatalf("ratio %.2f below bound", res.Ratio())
+	}
+}
+
+// pickLast is a deliberately contrarian online algorithm: it always assigns
+// the open eligible task with the HIGHEST id.
+type pickLast struct {
+	in    *model.Instance
+	state []float64
+	done  int
+}
+
+func (p *pickLast) Name() string { return "pickLast" }
+func (p *pickLast) Done() bool   { return p.done == len(p.in.Tasks) }
+
+func (p *pickLast) Arrive(w model.Worker) []model.TaskID {
+	delta := p.in.Delta()
+	assigned := []model.TaskID{}
+	for n := 0; n < p.in.K; n++ {
+		best := -1
+		for t := len(p.in.Tasks) - 1; t >= 0; t-- {
+			tid := model.TaskID(t)
+			if model.Completed(p.state[t], delta) || containsID(assigned, tid) {
+				continue
+			}
+			if _, ok := p.in.Eligible(w, p.in.Tasks[t]); ok {
+				best = t
+				break
+			}
+		}
+		if best < 0 {
+			break
+		}
+		acc := p.in.Model.Predict(w, p.in.Tasks[best])
+		was := model.Completed(p.state[best], delta)
+		p.state[best] += model.AccStar(acc)
+		if !was && model.Completed(p.state[best], delta) {
+			p.done++
+		}
+		assigned = append(assigned, model.TaskID(best))
+	}
+	return assigned
+}
+
+func containsID(ids []model.TaskID, id model.TaskID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

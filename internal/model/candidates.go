@@ -1,0 +1,151 @@
+package model
+
+import (
+	"math"
+
+	"ltc/internal/geo"
+)
+
+// Candidate is a task a given worker is eligible to perform, with its
+// predicted accuracy and quality credit.
+type Candidate struct {
+	Task    TaskID
+	Acc     float64
+	AccStar float64
+}
+
+// CandidateIndex answers "which tasks may this worker perform?" — the inner
+// loop of every LTC algorithm. When the instance's accuracy model bounds
+// eligibility by distance (RadiusBounder), candidates come from a uniform
+// grid over task locations; otherwise every task is checked.
+//
+// The index only depends on task locations and is safe to share across
+// algorithms; Candidates itself is not safe for concurrent use on the same
+// buffer.
+type CandidateIndex struct {
+	in     *Instance
+	grid   *geo.GridIndex
+	radius float64 // +Inf when the model gives no bound
+	idBuf  []int32
+}
+
+// NewCandidateIndex builds the candidate index for an instance.
+func NewCandidateIndex(in *Instance) *CandidateIndex {
+	ci := &CandidateIndex{in: in, radius: math.Inf(1)}
+	if rb, ok := in.Model.(RadiusBounder); ok {
+		ci.radius = rb.EligibilityRadius(in.MinAcc)
+	}
+	if !math.IsInf(ci.radius, 1) {
+		pts := make([]geo.Point, len(in.Tasks))
+		for i, t := range in.Tasks {
+			pts[i] = t.Loc
+		}
+		cell := ci.radius
+		if cell <= 0 {
+			cell = 1
+		}
+		ci.grid = geo.NewGridIndex(pts, cell)
+	}
+	return ci
+}
+
+// Radius returns the eligibility radius in effect (+Inf when unbounded).
+func (ci *CandidateIndex) Radius() float64 { return ci.radius }
+
+// Candidates appends to dst every task worker w is eligible for and returns
+// the extended slice. Candidates are ordered by ascending TaskID.
+func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
+	if ci.grid != nil {
+		ci.idBuf = ci.grid.Within(w.Loc, ci.radius, ci.idBuf[:0])
+		// Grid results are grouped by cell; sort by id for determinism.
+		sortInt32(ci.idBuf)
+		for _, id := range ci.idBuf {
+			t := ci.in.Tasks[id]
+			if acc, ok := ci.in.Eligible(w, t); ok {
+				dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
+			}
+		}
+		return dst
+	}
+	for _, t := range ci.in.Tasks {
+		if acc, ok := ci.in.Eligible(w, t); ok {
+			dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
+		}
+	}
+	return dst
+}
+
+// EligibleWorkerLists returns, for every task, the ascending arrival indices
+// of all workers eligible for it. Offline algorithms (Base-off) use this to
+// reason about future supply. Cost: one Candidates call per worker.
+func (ci *CandidateIndex) EligibleWorkerLists() [][]int32 {
+	lists := make([][]int32, len(ci.in.Tasks))
+	var buf []Candidate
+	for _, w := range ci.in.Workers {
+		buf = ci.Candidates(w, buf[:0])
+		for _, c := range buf {
+			lists[c.Task] = append(lists[c.Task], int32(w.Index))
+		}
+	}
+	return lists
+}
+
+// MaxPossibleCredit returns, for every task, the total Acc* credit available
+// from all workers (each contributing at most once, ignoring capacity). A
+// task whose total is below δ can never complete: used for feasibility
+// checks.
+func (ci *CandidateIndex) MaxPossibleCredit() []float64 {
+	total := make([]float64, len(ci.in.Tasks))
+	var buf []Candidate
+	for _, w := range ci.in.Workers {
+		buf = ci.Candidates(w, buf[:0])
+		for _, c := range buf {
+			total[c.Task] += c.AccStar
+		}
+	}
+	return total
+}
+
+// CheckFeasible returns ErrInfeasible when some task cannot reach δ even if
+// every eligible worker performs it (capacity ignored — a necessary
+// condition only, but it catches the common generator mistakes).
+func (ci *CandidateIndex) CheckFeasible() error {
+	delta := ci.in.Delta()
+	for _, total := range ci.MaxPossibleCredit() {
+		if !Completed(total, delta) {
+			return ErrInfeasible
+		}
+	}
+	return nil
+}
+
+// sortInt32 sorts a small slice of int32 in place. Insertion sort for short
+// slices (grid query results are typically tens of ids), falling back to a
+// simple quicksort.
+func sortInt32(s []int32) {
+	if len(s) < 24 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	pivot := s[len(s)/2]
+	lo, hi := 0, len(s)-1
+	for lo <= hi {
+		for s[lo] < pivot {
+			lo++
+		}
+		for s[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			s[lo], s[hi] = s[hi], s[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInt32(s[:hi+1])
+	sortInt32(s[lo:])
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a = NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitSeedIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for stream := uint64(0); stream < 1000; stream++ {
+		s := SplitSeed(42, stream)
+		if seen[s] {
+			t.Fatalf("SplitSeed collision at stream %d", stream)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTruncatedNormalBounds(t *testing.T) {
+	rng := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		x := TruncatedNormal(rng, 0.86, 0.05, 0.66, 1.0)
+		if x < 0.66 || x > 1.0 {
+			t.Fatalf("sample %v outside [0.66, 1.0]", x)
+		}
+	}
+}
+
+func TestTruncatedNormalMean(t *testing.T) {
+	rng := NewRand(2)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += TruncatedNormal(rng, 0.86, 0.05, 0.66, 1.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.86) > 0.005 {
+		t.Fatalf("empirical mean %v too far from 0.86", mean)
+	}
+}
+
+func TestTruncatedNormalDegenerate(t *testing.T) {
+	rng := NewRand(3)
+	// Mean far outside the window: must still terminate and clamp.
+	x := TruncatedNormal(rng, 10, 0.0001, 0, 1)
+	if x != 1 {
+		t.Fatalf("degenerate clamp = %v, want 1", x)
+	}
+}
+
+func TestTruncatedNormalBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lo >= hi must panic")
+		}
+	}()
+	TruncatedNormal(NewRand(1), 0.5, 0.1, 1, 0)
+}
+
+func TestUniformMeanBounds(t *testing.T) {
+	rng := NewRand(4)
+	for i := 0; i < 10000; i++ {
+		x := UniformMean(rng, 0.9, 0.10, 0.66, 1.0)
+		if x < 0.80-1e-12 || x > 1.0+1e-12 {
+			t.Fatalf("sample %v outside [0.80, 1.0]", x)
+		}
+	}
+}
+
+func TestUniformMeanDegenerateWindow(t *testing.T) {
+	rng := NewRand(5)
+	if x := UniformMean(rng, 2.0, 0.1, 0, 1); x != 1 {
+		t.Fatalf("clamp = %v, want 1", x)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-2.138) > 0.01 {
+		t.Fatalf("Std = %v, want ~2.138", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {200, 5},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("empty percentile must error")
+	}
+}
+
+// Property: Summarize invariants Min <= Median <= Max and Min <= Mean <= Max
+// hold for any non-empty input.
+func TestSummarizeInvariantsProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package ltc
+
+import (
+	"errors"
+	"fmt"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+)
+
+// Session drives an online algorithm one worker at a time — the natural
+// shape for a live platform where check-ins stream in. Unlike Solve, the
+// caller controls the worker feed and can interleave its own bookkeeping
+// (e.g. pushing the assigned questions to the user's device).
+//
+// Workers must be offered in arrival order with consecutive indices
+// starting at 1; assignments are immediate and irrevocable, matching the
+// online LTC temporal constraint.
+type Session struct {
+	in        *Instance
+	algo      core.Online
+	arr       *Arrangement
+	nextIndex int
+	tasksBuf  []TaskID
+}
+
+// Session errors.
+var (
+	ErrOutOfOrder  = errors.New("ltc: workers must arrive in index order 1, 2, ...")
+	ErrSessionDone = errors.New("ltc: session already completed all tasks")
+)
+
+// NewSession starts a streaming session for an online algorithm. The
+// instance's Workers slice may be empty — workers are supplied via Arrive —
+// but Tasks, Epsilon, K, Model and MinAcc must be set.
+func NewSession(in *Instance, algo Algorithm, opts ...SolveOptions) (*Session, error) {
+	var o SolveOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if len(in.Tasks) == 0 {
+		return nil, fmt.Errorf("ltc: %w", model.ErrNoTasks)
+	}
+	if in.Model == nil {
+		return nil, fmt.Errorf("ltc: %w", model.ErrNoModel)
+	}
+	if in.K <= 0 {
+		return nil, fmt.Errorf("ltc: %w", model.ErrBadCapacity)
+	}
+	if in.Epsilon <= 0 || in.Epsilon >= 1 {
+		return nil, fmt.Errorf("ltc: %w", model.ErrBadEpsilon)
+	}
+	factory, err := onlineFactory(algo, o)
+	if err != nil {
+		return nil, err
+	}
+	ci := o.index(in)
+	return &Session{
+		in:        in,
+		algo:      factory(in, ci),
+		arr:       model.NewArrangement(len(in.Tasks)),
+		nextIndex: 1,
+	}, nil
+}
+
+// Arrive offers the next worker and returns the tasks assigned to it
+// (possibly none). It returns ErrSessionDone once every task has completed
+// and ErrOutOfOrder when the worker's index breaks the arrival sequence.
+func (s *Session) Arrive(w Worker) ([]TaskID, error) {
+	if s.algo.Done() {
+		return nil, ErrSessionDone
+	}
+	if w.Index != s.nextIndex {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, w.Index, s.nextIndex)
+	}
+	s.nextIndex++
+	s.tasksBuf = append(s.tasksBuf[:0], s.algo.Arrive(w)...)
+	for _, t := range s.tasksBuf {
+		acc := s.in.Model.Predict(w, s.in.Tasks[t])
+		s.arr.Add(w.Index, t, model.AccStar(acc))
+	}
+	return s.tasksBuf, nil
+}
+
+// Done reports whether every task has reached the quality threshold.
+func (s *Session) Done() bool { return s.algo.Done() }
+
+// Latency returns the arrival index of the last worker assigned so far —
+// the LTC objective once Done is true.
+func (s *Session) Latency() int { return s.arr.Latency() }
+
+// WorkersSeen reports how many workers have been offered.
+func (s *Session) WorkersSeen() int { return s.nextIndex - 1 }
+
+// Arrangement returns the assignments made so far. The returned value is
+// live; callers must not mutate it.
+func (s *Session) Arrangement() *Arrangement { return s.arr }
+
+// Progress returns the number of completed tasks and the task total.
+func (s *Session) Progress() (completed, total int) {
+	delta := s.in.Delta()
+	for _, credit := range s.arr.Accumulated {
+		if model.Completed(credit, delta) {
+			completed++
+		}
+	}
+	return completed, len(s.in.Tasks)
+}
