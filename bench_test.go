@@ -2,6 +2,9 @@ package ltc
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ltc/internal/core"
@@ -226,6 +229,59 @@ func BenchmarkCandidateIndex(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = ci.Candidates(in.Workers[i%len(in.Workers)], buf[:0])
+	}
+}
+
+// BenchmarkPlatformCheckIn measures the sharded dispatch layer's check-in
+// throughput: GOMAXPROCS goroutines feed one Platform the full worker
+// stream (restarting with a fresh Platform whenever the workload
+// completes), so higher shard counts translate directly into less lock
+// contention and more workers/sec. The shards=1 case is the single-engine
+// baseline the ISSUE's acceptance criterion compares against.
+func BenchmarkPlatformCheckIn(b *testing.B) {
+	cfg := DefaultWorkload().Scale(0.05)
+	cfg.Seed = 42
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			feeders := runtime.GOMAXPROCS(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			checkins := 0
+			for checkins < b.N {
+				plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cursor, fed atomic.Int64
+				var wg sync.WaitGroup
+				for g := 0; g < feeders; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(cursor.Add(1)) - 1
+							if i >= len(in.Workers) || plat.Done() {
+								return
+							}
+							if _, err := plat.CheckIn(in.Workers[i]); err != nil {
+								return // ErrPlatformDone under contention
+							}
+							fed.Add(1)
+						}
+					}()
+				}
+				wg.Wait()
+				checkins += int(fed.Load())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(checkins)/b.Elapsed().Seconds(), "workers/s")
+			// b.N undershoots the real work when the last stream overshoots;
+			// workers/s above is the truthful throughput number.
+		})
 	}
 }
 

@@ -10,8 +10,10 @@
 //	ltcbench -list
 //	ltcbench -exp fig3-tasks -scale 0.05 -reps 3
 //	ltcbench -exp all -scale 0.1 -reps 5 -csv results.csv
+//	ltcbench -exp all -parallel 1            # paper-faithful runtime/memory metrics
 //	ltcbench -exp table4 -exp-table5
 //	ltcbench -exp fig4-newyork -algos LAF,AAM,Random
+//	ltcbench -exp throughput -shards 1,4,16  # sharded dispatch workers/sec
 package main
 
 import (
@@ -30,14 +32,16 @@ func main() {
 	log.SetPrefix("ltcbench: ")
 
 	var (
-		expID   = flag.String("exp", "", "experiment id (see -list), 'all', 'table4' or 'table5'")
-		scale   = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
-		reps    = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
-		seed    = flag.Uint64("seed", 42, "base seed")
-		algos   = flag.String("algos", "", "comma-separated algorithm subset (default: all five)")
-		csvPath = flag.String("csv", "", "also write long-format CSV to this path ('-' for stdout)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5' or 'throughput'")
+		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
+		reps     = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
+		seed     = flag.Uint64("seed", 42, "base seed")
+		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: all five)")
+		csvPath  = flag.String("csv", "", "also write long-format CSV to this path ('-' for stdout)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
+		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput (comma-separated)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,7 @@ func main() {
 		}
 		fmt.Println("  table4            print the synthetic dataset settings (Table IV)")
 		fmt.Println("  table5            print the check-in dataset presets (Table V)")
+		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards)")
 		return
 	}
 	if *expID == "" {
@@ -60,12 +65,22 @@ func main() {
 	case "table5":
 		fmt.Print(experiments.FormatTableV())
 		return
+	case "throughput":
+		var algo string
+		if *algos != "" {
+			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
+		}
+		if err := runThroughput(*shards, *scale, *seed, algo); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	opts := experiments.Options{
-		Scale: *scale,
-		Reps:  *reps,
-		Seed:  *seed,
+		Scale:    *scale,
+		Reps:     *reps,
+		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	if *algos != "" {
 		for _, a := range strings.Split(*algos, ",") {

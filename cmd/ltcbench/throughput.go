@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"ltc"
+)
+
+// runThroughput measures the sharded dispatch layer's check-in throughput
+// from the CLI: for each requested shard count it feeds the full worker
+// stream to a fresh Platform from GOMAXPROCS goroutines, repeating for at
+// least minDuration, and prints workers/sec alongside the resulting global
+// latency — the quality cost of sharding.
+func runThroughput(shardList string, scale float64, seed uint64, algoName string) error {
+	var shardCounts []int
+	for _, s := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", s)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	algo := ltc.Algorithm(algoName)
+	if algoName == "" {
+		algo = ltc.AAM
+	}
+
+	cfg := ltc.DefaultWorkload().Scale(scale)
+	cfg.Seed = seed
+	in, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	feeders := runtime.GOMAXPROCS(0)
+	fmt.Printf("throughput: %s over %d tasks / %d workers, %d feeder goroutines\n\n",
+		algo, len(in.Tasks), len(in.Workers), feeders)
+
+	const minDuration = 500 * time.Millisecond
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\teffective\tworkers/s\tglobal latency\truns")
+	for _, n := range shardCounts {
+		var checkins, runs int
+		var latency, effective int
+		start := time.Now()
+		for time.Since(start) < minDuration {
+			plat, err := ltc.NewPlatform(in, algo, ltc.PlatformOptions{Shards: n, Seed: seed})
+			if err != nil {
+				return err
+			}
+			var cursor, fed atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < feeders; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(in.Workers) || plat.Done() {
+							return
+						}
+						if _, err := plat.CheckIn(in.Workers[i]); err != nil {
+							return // platform completed under contention
+						}
+						fed.Add(1)
+					}
+				}()
+			}
+			wg.Wait()
+			checkins += int(fed.Load())
+			runs++
+			latency = plat.Latency()
+			effective = plat.Shards()
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%d\t%d\n",
+			n, effective, float64(checkins)/elapsed.Seconds(), latency, runs)
+	}
+	return w.Flush()
+}

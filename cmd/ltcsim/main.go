@@ -8,6 +8,7 @@
 //	ltcsim
 //	ltcsim -tasks 100 -workers 2000 -k 4 -epsilon 0.14
 //	ltcsim -city newyork -scale 0.01
+//	ltcsim -shards 8     # also run the online algorithms sharded
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"ltc"
@@ -35,6 +37,7 @@ func main() {
 		city    = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
 		scale   = flag.Float64("scale", 0.01, "city trace scale factor")
 		trials  = flag.Int("trials", 200, "voting simulation trials")
+		shards  = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
 	)
 	flag.Parse()
 
@@ -70,6 +73,67 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
+
+	if *shards > 0 {
+		if err := runSharded(in, *shards, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runSharded replays the worker stream through the sharded Platform for
+// each online algorithm and reports the global latency next to the
+// unsharded Session's, plus the per-shard worker routing — the latency
+// cost of spatial sharding made visible (see CONCURRENCY.md).
+func runSharded(in *ltc.Instance, shards int, seed uint64) error {
+	fmt.Printf("\nsharded dispatch (%d shards requested):\n", shards)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tshards\tglobal latency\tunsharded\tper-shard workers")
+	incomplete := false
+	for _, algo := range ltc.Algorithms() {
+		if !algo.IsOnline() {
+			continue
+		}
+		base, err := ltc.Solve(in, algo, ltc.SolveOptions{Seed: seed})
+		if err != nil && !errors.Is(err, ltc.ErrIncomplete) {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		plat, err := ltc.NewPlatform(in, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		for _, worker := range in.Workers {
+			if plat.Done() {
+				break
+			}
+			if _, err := plat.CheckIn(worker); err != nil {
+				return fmt.Errorf("%s: %w", algo, err)
+			}
+		}
+		mark := ""
+		if !plat.Done() {
+			mark = "*"
+			incomplete = true
+		}
+		baseMark := ""
+		if !base.Completed {
+			baseMark = "*"
+			incomplete = true
+		}
+		var counts []string
+		for _, s := range plat.ShardStats() {
+			counts = append(counts, fmt.Sprintf("%d", s.Workers))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d%s\t%d%s\t%s\n",
+			algo, plat.Shards(), plat.Latency(), mark, base.Latency, baseMark, strings.Join(counts, " "))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if incomplete {
+		fmt.Println("(* run exhausted the worker stream before completing every task)")
+	}
+	return nil
 }
 
 func buildInstance(city string, scale float64, tasks, workers, k int, epsilon float64, seed uint64) (*ltc.Instance, error) {

@@ -1,0 +1,3 @@
+module ltc
+
+go 1.24

@@ -98,25 +98,21 @@ func RunOnline(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 
-	algo := factory(in, ci)
-	arr := model.NewArrangement(len(in.Tasks))
+	eng := NewEngine(in, ci, factory)
 	seen := 0
 	for _, w := range in.Workers {
-		if algo.Done() {
+		if eng.Done() {
 			break
 		}
 		seen++
-		for _, t := range algo.Arrive(w) {
-			acc := in.Model.Predict(w, in.Tasks[t])
-			arr.Add(w.Index, t, model.AccStar(acc))
-		}
+		eng.Arrive(w)
 	}
 	runtime.ReadMemStats(&msAfter)
 	res := &Result{
-		Algorithm:   algo.Name(),
-		Arrangement: arr,
-		Latency:     arr.Latency(),
-		Completed:   algo.Done(),
+		Algorithm:   eng.Name(),
+		Arrangement: eng.Arrangement(),
+		Latency:     eng.Arrangement().Latency(),
+		Completed:   eng.Done(),
 		WorkersSeen: seen,
 		Elapsed:     time.Since(start),
 		AllocBytes:  int64(msAfter.TotalAlloc - msBefore.TotalAlloc),

@@ -1,0 +1,74 @@
+package core
+
+import "ltc/internal/model"
+
+// Engine binds an Online solver to an instance (or to one shard's
+// sub-instance) and keeps the bookkeeping every caller of Arrive was
+// duplicating: the growing Arrangement, per-task credit, and an O(1)
+// completed-task counter. It is the single-threaded building block of both
+// the streaming Session API and the sharded dispatch layer — callers that
+// share an Engine across goroutines must serialize access themselves.
+type Engine struct {
+	in        *model.Instance
+	algo      Online
+	arr       *model.Arrangement
+	delta     float64
+	completed int
+}
+
+// NewEngine builds an engine around a fresh solver from factory. The
+// candidate index must have been built for the same instance. The
+// instance's Workers slice may be empty: workers arrive via Arrive.
+func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFactory) *Engine {
+	return &Engine{
+		in:    in,
+		algo:  factory(in, ci),
+		arr:   model.NewArrangement(len(in.Tasks)),
+		delta: in.Delta(),
+	}
+}
+
+// Arrive offers the next worker to the solver, records its assignments (with
+// their Acc* credit) in the arrangement, and returns the assigned task IDs.
+// The returned slice is owned by the solver and only valid until the next
+// call. Index discipline is the caller's job: Session enforces consecutive
+// indices starting at 1, while the dispatch layer feeds each shard a sparse
+// subsequence of global indices (the solvers never read Worker.Index, and
+// the arrangement only takes a max over it).
+func (e *Engine) Arrive(w model.Worker) []model.TaskID {
+	out := e.algo.Arrive(w)
+	for _, t := range out {
+		acc := e.in.Model.Predict(w, e.in.Tasks[t])
+		was := model.Completed(e.arr.Accumulated[t], e.delta)
+		e.arr.Add(w.Index, t, model.AccStar(acc))
+		if !was && model.Completed(e.arr.Accumulated[t], e.delta) {
+			e.completed++
+		}
+	}
+	return out
+}
+
+// Done reports whether every task has reached the quality threshold.
+func (e *Engine) Done() bool { return e.algo.Done() }
+
+// Name returns the bound solver's algorithm name.
+func (e *Engine) Name() string { return e.algo.Name() }
+
+// Instance returns the instance the engine is bound to.
+func (e *Engine) Instance() *model.Instance { return e.in }
+
+// Arrangement returns the assignments made so far. The returned value is
+// live; callers must not mutate it.
+func (e *Engine) Arrangement() *model.Arrangement { return e.arr }
+
+// Progress returns the number of completed tasks and the task total in
+// O(1) — the snapshot the platform surfaces per shard.
+func (e *Engine) Progress() (completed, total int) {
+	return e.completed, len(e.in.Tasks)
+}
+
+// Credits appends a snapshot of the per-task accumulated Acc* credit to dst
+// and returns the extended slice.
+func (e *Engine) Credits(dst []float64) []float64 {
+	return append(dst, e.arr.Accumulated...)
+}

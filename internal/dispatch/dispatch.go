@@ -1,0 +1,237 @@
+// Package dispatch is the sharded concurrent check-in layer of the
+// reproduction: it partitions an LTC instance's task space into spatial
+// shards (internal/model.PartitionInstance over the internal/geo grid),
+// runs one independent online solver per shard, and routes each arriving
+// worker to the shard owning its location. Check-ins serialize per shard,
+// so calls touching disjoint shards proceed fully in parallel — the
+// real-time assignment pattern of hyperlocal spatial-crowdsourcing
+// frameworks (Tran et al.), applied to the paper's LAF/AAM/Random solvers.
+//
+// Latency semantics: workers keep their global arrival indices (the online
+// solvers assign from location and accuracy only, so no per-shard
+// renumbering is needed), and all latencies — per shard and platform-wide —
+// are reported in those global indices, directly comparable with the
+// unsharded solver. Sharding trades assignment quality for throughput: a worker is
+// only considered for tasks in its own shard, so tasks near shard borders
+// lose eligible workers and the global latency is typically at or above
+// the single-engine solver's (see CONCURRENCY.md).
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+)
+
+// Dispatcher errors.
+var (
+	// ErrDone is returned by CheckIn once every task of every shard has
+	// reached its quality threshold.
+	ErrDone = errors.New("dispatch: all tasks completed")
+	// ErrBadWorkerIndex is returned for check-ins without a positive global
+	// arrival index.
+	ErrBadWorkerIndex = errors.New("dispatch: worker arrival index must be ≥ 1")
+)
+
+// shard pairs one spatial sub-instance with its solver engine and the
+// mutex serializing its check-ins.
+//
+// Workers keep their global arrival indices: the online solvers never read
+// Worker.Index (only locations and accuracies drive assignment), so the
+// shard's engine can record arrangements — and therefore latency — directly
+// in global terms, and index-sensitive accuracy models stay correct.
+type shard struct {
+	mu  sync.Mutex
+	eng *core.Engine
+	sub model.SubInstance
+	// workers holds the workers offered to the shard's solver, in arrival
+	// order, keyed by global index for the merged-arrangement rebuild.
+	workers map[int]model.Worker
+	// routed counts every check-in that landed on the shard, including
+	// ones bounced because the shard had already completed its tasks.
+	routed int
+	// offered counts the workers actually presented to the solver.
+	offered int
+}
+
+// Dispatcher routes concurrent worker check-ins to per-shard online solvers.
+// Construct with New; all methods are safe for concurrent use.
+type Dispatcher struct {
+	part      *model.Partition
+	shards    []*shard
+	remaining atomic.Int64 // tasks not yet at δ, across all shards
+	arrived   atomic.Int64 // total check-ins accepted
+	maxUsed   atomic.Int64 // global latency: max global index with an assignment
+}
+
+// New partitions the instance into up to nShards spatial shards and binds a
+// fresh solver (from factory) to each. The instance needs Tasks, Model, K
+// and Epsilon; Workers may be empty — they arrive via CheckIn.
+func New(in *model.Instance, nShards int, factory core.OnlineFactory) (*Dispatcher, error) {
+	if err := in.ValidateStreaming(); err != nil {
+		return nil, err
+	}
+	part, err := model.PartitionInstance(in, nShards)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards())}
+	for i, sub := range part.Shards {
+		ci := model.NewCandidateIndex(sub.In)
+		d.shards[i] = &shard{
+			eng:     core.NewEngine(sub.In, ci, factory),
+			sub:     sub,
+			workers: make(map[int]model.Worker),
+		}
+	}
+	d.remaining.Store(int64(len(in.Tasks)))
+	return d, nil
+}
+
+// NumShards reports the number of shards actually created (≤ the requested
+// count: empty spatial tiles collapse).
+func (d *Dispatcher) NumShards() int { return len(d.shards) }
+
+// CheckIn routes worker w to the shard owning its location and offers it to
+// that shard's solver. It returns the assigned tasks as global TaskIDs
+// (possibly none — also when the worker's shard has already completed all
+// its tasks), or ErrDone once the whole platform is complete. Safe for
+// concurrent use; only check-ins landing on the same shard serialize.
+//
+// w.Index is the worker's global arrival index and must be ≥ 1; concurrent
+// callers need not present indices in order — the solvers assign from
+// location and accuracy only, and latency is tracked as a max over indices.
+func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
+	if w.Index < 1 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
+	}
+	if d.Done() {
+		return nil, ErrDone
+	}
+	s := d.shards[d.part.Locate(w.Loc)]
+
+	s.mu.Lock()
+	s.routed++
+	if s.eng.Done() {
+		s.mu.Unlock()
+		d.arrived.Add(1)
+		return nil, nil
+	}
+	s.offered++
+	before, _ := s.eng.Progress()
+	assigned := s.eng.Arrive(w)
+	out := make([]model.TaskID, len(assigned))
+	for i, t := range assigned {
+		out[i] = s.sub.Global[t]
+	}
+	if len(assigned) > 0 {
+		s.workers[w.Index] = w
+	}
+	after, _ := s.eng.Progress()
+	s.mu.Unlock()
+
+	d.arrived.Add(1)
+	if len(assigned) > 0 {
+		for {
+			cur := d.maxUsed.Load()
+			if int64(w.Index) <= cur || d.maxUsed.CompareAndSwap(cur, int64(w.Index)) {
+				break
+			}
+		}
+	}
+	if done := after - before; done > 0 {
+		d.remaining.Add(int64(-done))
+	}
+	return out, nil
+}
+
+// Done reports whether every task of every shard has reached δ.
+func (d *Dispatcher) Done() bool { return d.remaining.Load() == 0 }
+
+// Latency returns the global LTC objective so far: the largest global
+// arrival index among workers that received at least one assignment.
+func (d *Dispatcher) Latency() int { return int(d.maxUsed.Load()) }
+
+// Arrived reports how many check-ins have been accepted.
+func (d *Dispatcher) Arrived() int { return int(d.arrived.Load()) }
+
+// Progress returns the number of completed tasks and the task total.
+func (d *Dispatcher) Progress() (completed, total int) {
+	total = len(d.part.Source.Tasks)
+	return total - int(d.remaining.Load()), total
+}
+
+// ShardStats is one shard's progress/credit snapshot.
+type ShardStats struct {
+	// Tasks is the shard's task count; Completed of them have reached δ.
+	Tasks     int
+	Completed int
+	// Workers is the number of check-ins routed to the shard (including
+	// ones arriving after the shard completed); Offered of them were
+	// presented to the shard's solver.
+	Workers int
+	Offered int
+	// Latency is the shard's latency in global arrival indices: the
+	// largest Worker.Index among its assigned workers. The platform's
+	// latency is the max over shards.
+	Latency int
+}
+
+// ShardStats snapshots every shard. Shards are locked one at a time, so the
+// view is per-shard consistent but not a global atomic cut.
+func (d *Dispatcher) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(d.shards))
+	for i, s := range d.shards {
+		s.mu.Lock()
+		completed, total := s.eng.Progress()
+		out[i] = ShardStats{
+			Tasks:     total,
+			Completed: completed,
+			Workers:   s.routed,
+			Offered:   s.offered,
+			Latency:   s.eng.Arrangement().Latency(),
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Credits appends a snapshot of the per-task accumulated Acc* credit, in
+// global TaskID order, to dst and returns the extended slice.
+func (d *Dispatcher) Credits(dst []float64) []float64 {
+	base := len(dst)
+	dst = append(dst, make([]float64, len(d.part.Source.Tasks))...)
+	for _, s := range d.shards {
+		s.mu.Lock()
+		for local, acc := range s.eng.Arrangement().Accumulated {
+			dst[base+int(s.sub.Global[local])] = acc
+		}
+		s.mu.Unlock()
+	}
+	return dst
+}
+
+// Arrangement merges the per-shard arrangements into one over the source
+// instance: worker indices are already global, task IDs are mapped back via
+// the partition. Assignment credit is re-derived from the source accuracy
+// model, which yields the same float additions in the same order as the
+// shard engines performed, so accumulated credit matches Credits exactly.
+func (d *Dispatcher) Arrangement() *model.Arrangement {
+	src := d.part.Source
+	merged := model.NewArrangement(len(src.Tasks))
+	for _, s := range d.shards {
+		s.mu.Lock()
+		for _, p := range s.eng.Arrangement().Pairs {
+			w := s.workers[p.Worker]
+			gt := s.sub.Global[p.Task]
+			acc := src.Model.Predict(w, src.Tasks[gt])
+			merged.Add(w.Index, gt, model.AccStar(acc))
+		}
+		s.mu.Unlock()
+	}
+	return merged
+}

@@ -1,0 +1,315 @@
+package dispatch
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+	"ltc/internal/workload"
+)
+
+func testInstance(t testing.TB, scale float64) *model.Instance {
+	t.Helper()
+	cfg := workload.Default().Scale(scale)
+	cfg.Seed = 21
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func lafFactory(in *model.Instance, ci *model.CandidateIndex) core.Online {
+	return core.NewLAF(in, ci)
+}
+
+func aamFactory(in *model.Instance, ci *model.CandidateIndex) core.Online {
+	return core.NewAAM(in, ci)
+}
+
+func TestNewValidatesInstance(t *testing.T) {
+	good := testInstance(t, 0.01)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*model.Instance)
+		want   error
+	}{
+		{"no tasks", func(in *model.Instance) { in.Tasks = nil }, model.ErrNoTasks},
+		{"nil model", func(in *model.Instance) { in.Model = nil }, model.ErrNoModel},
+		{"bad K", func(in *model.Instance) { in.K = 0 }, model.ErrBadCapacity},
+		{"bad eps", func(in *model.Instance) { in.Epsilon = 2 }, model.ErrBadEpsilon},
+	} {
+		in := *good
+		tc.mutate(&in)
+		if _, err := New(&in, 4, lafFactory); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if _, err := New(good, 0, lafFactory); !errors.Is(err, model.ErrBadShardCount) {
+		t.Fatalf("shards=0: err = %v", err)
+	}
+}
+
+func TestCheckInRejectsBadIndex(t *testing.T) {
+	d, err := New(testInstance(t, 0.01), 2, lafFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CheckIn(model.Worker{Index: 0}); !errors.Is(err, ErrBadWorkerIndex) {
+		t.Fatalf("err = %v, want ErrBadWorkerIndex", err)
+	}
+}
+
+// TestSingleShardMatchesRunOnline: with one shard and a sequential feed the
+// dispatcher is the plain online solver — identical arrangement, latency
+// and completion.
+func TestSingleShardMatchesRunOnline(t *testing.T) {
+	in := testInstance(t, 0.02)
+	for name, factory := range map[string]core.OnlineFactory{"LAF": lafFactory, "AAM": aamFactory} {
+		want, err := core.RunOnline(in, model.NewCandidateIndex(in), factory)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, err := New(in, 1, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumShards() != 1 {
+			t.Fatalf("%s: shards = %d", name, d.NumShards())
+		}
+		for _, w := range in.Workers {
+			if d.Done() {
+				break
+			}
+			if _, err := d.CheckIn(w); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if !d.Done() {
+			t.Fatalf("%s: dispatcher incomplete", name)
+		}
+		if d.Latency() != want.Latency {
+			t.Fatalf("%s: latency %d, want %d", name, d.Latency(), want.Latency)
+		}
+		got := d.Arrangement()
+		if len(got.Pairs) != len(want.Arrangement.Pairs) {
+			t.Fatalf("%s: %d pairs, want %d", name, len(got.Pairs), len(want.Arrangement.Pairs))
+		}
+		for i := range got.Pairs {
+			if got.Pairs[i] != want.Arrangement.Pairs[i] {
+				t.Fatalf("%s: pair %d = %+v, want %+v", name, i, got.Pairs[i], want.Arrangement.Pairs[i])
+			}
+		}
+		for tid := range got.Accumulated {
+			if got.Accumulated[tid] != want.Arrangement.Accumulated[tid] {
+				t.Fatalf("%s: credit of task %d drifted", name, tid)
+			}
+		}
+	}
+}
+
+// TestShardedCompletesAndValidates: a sharded run fed the full stream must
+// complete every task with a valid merged arrangement (capacity,
+// eligibility, no duplicates) and coherent shard statistics.
+func TestShardedCompletesAndValidates(t *testing.T) {
+	in := testInstance(t, 0.05)
+	for _, shards := range []int{2, 4, 8} {
+		d, err := New(in, shards, aamFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range in.Workers {
+			if d.Done() {
+				break
+			}
+			if _, err := d.CheckIn(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !d.Done() {
+			t.Fatalf("shards=%d: incomplete after full stream", shards)
+		}
+		arr := d.Arrangement()
+		if err := arr.Validate(in, true); err != nil {
+			t.Fatalf("shards=%d: merged arrangement invalid: %v", shards, err)
+		}
+		if arr.Latency() != d.Latency() {
+			t.Fatalf("shards=%d: latency mismatch %d vs %d", shards, arr.Latency(), d.Latency())
+		}
+		stats := d.ShardStats()
+		if len(stats) != d.NumShards() {
+			t.Fatalf("shards=%d: %d stats", shards, len(stats))
+		}
+		totTasks, totWorkers, maxGlobal := 0, 0, 0
+		for _, s := range stats {
+			if s.Completed != s.Tasks {
+				t.Fatalf("shards=%d: shard incomplete in stats: %+v", shards, s)
+			}
+			totTasks += s.Tasks
+			totWorkers += s.Workers
+			if s.Latency > maxGlobal {
+				maxGlobal = s.Latency
+			}
+			if s.Offered > s.Workers {
+				t.Fatalf("shards=%d: offered %d > routed %d", shards, s.Offered, s.Workers)
+			}
+		}
+		if totTasks != len(in.Tasks) {
+			t.Fatalf("shards=%d: stats cover %d tasks", shards, totTasks)
+		}
+		if totWorkers != d.Arrived() {
+			t.Fatalf("shards=%d: stats count %d workers, arrived %d", shards, totWorkers, d.Arrived())
+		}
+		if maxGlobal != d.Latency() {
+			t.Fatalf("shards=%d: max shard global latency %d != %d", shards, maxGlobal, d.Latency())
+		}
+		completed, total := d.Progress()
+		if completed != total || total != len(in.Tasks) {
+			t.Fatalf("shards=%d: progress %d/%d", shards, completed, total)
+		}
+		credits := d.Credits(nil)
+		delta := in.Delta()
+		for tid, c := range credits {
+			if !model.Completed(c, delta) {
+				t.Fatalf("shards=%d: credit snapshot of task %d below δ", shards, tid)
+			}
+		}
+	}
+}
+
+// TestCheckInAfterDone: once complete, further check-ins return ErrDone.
+func TestCheckInAfterDone(t *testing.T) {
+	in := testInstance(t, 0.01)
+	d, err := New(in, 2, lafFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range in.Workers {
+		if d.Done() {
+			break
+		}
+		if _, err := d.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Done() {
+		t.Fatal("incomplete")
+	}
+	if _, err := d.CheckIn(model.Worker{Index: len(in.Workers) + 1, Acc: 0.9}); !errors.Is(err, ErrDone) {
+		t.Fatalf("err = %v, want ErrDone", err)
+	}
+}
+
+// TestConcurrentCheckInStress hammers one dispatcher from many goroutines
+// (run with -race): every check-in must be accepted exactly once, shard
+// bookkeeping must stay consistent, and the merged arrangement must be
+// valid for the source instance.
+func TestConcurrentCheckInStress(t *testing.T) {
+	in := testInstance(t, 0.05)
+	for _, shards := range []int{1, 4, 16} {
+		d, err := New(in, shards, aamFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cursor atomic.Int64
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		workers := 8
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(in.Workers) || d.Done() {
+						return
+					}
+					_, err := d.CheckIn(in.Workers[i])
+					if errors.Is(err, ErrDone) {
+						return
+					}
+					if err != nil {
+						t.Errorf("CheckIn: %v", err)
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if !d.Done() {
+			t.Fatalf("shards=%d: incomplete after concurrent stream", shards)
+		}
+		if got := d.Arrived(); got != int(accepted.Load()) {
+			t.Fatalf("shards=%d: Arrived=%d, accepted=%d", shards, got, accepted.Load())
+		}
+		// The arrangement references only real workers and respects
+		// capacity/eligibility; completion holds by Done.
+		if err := d.Arrangement().Validate(in, true); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+// TestShardedLatencySemantics documents how sharding changes the objective:
+// per-shard solvers see fewer candidates per worker, so the global latency
+// (in global arrival indices) is at least the information-theoretic trend
+// of the unsharded solver on this workload — here we assert the documented
+// relationship latency(sharded) ≥ latency(1 shard) for a fixed sequential
+// feed, and that shard worker counts partition the stream.
+func TestShardedLatencySemantics(t *testing.T) {
+	in := testInstance(t, 0.05)
+	run := func(shards int) (*Dispatcher, int) {
+		d, err := New(in, shards, aamFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range in.Workers {
+			if d.Done() {
+				break
+			}
+			if _, err := d.CheckIn(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !d.Done() {
+			t.Fatalf("shards=%d incomplete", shards)
+		}
+		return d, d.Latency()
+	}
+	_, base := run(1)
+	d8, sharded := run(8)
+	if sharded < base {
+		t.Fatalf("sharded latency %d < unsharded %d: sharding cannot use fewer workers here", sharded, base)
+	}
+	tot := 0
+	for _, s := range d8.ShardStats() {
+		tot += s.Workers
+	}
+	if tot != d8.Arrived() {
+		t.Fatalf("shard worker counts %d != arrivals %d", tot, d8.Arrived())
+	}
+	t.Logf("latency: 1 shard = %d, 8 shards = %d (global arrival indices)", base, sharded)
+}
+
+// TestRoutingMatchesPartition: CheckIn must land workers on the shard
+// Locate picks, which for a worker standing exactly on a task is that
+// task's shard.
+func TestRoutingMatchesPartition(t *testing.T) {
+	in := testInstance(t, 0.02)
+	p, err := model.PartitionInstance(in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	for i := 0; i < 200; i++ {
+		task := in.Tasks[rng.IntN(len(in.Tasks))]
+		if got, want := p.Locate(task.Loc), p.TaskShard(task.ID); got != want {
+			t.Fatalf("task %d: Locate=%d TaskShard=%d", task.ID, got, want)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"ltc/internal/core"
 	"ltc/internal/model"
@@ -73,7 +74,15 @@ type Options struct {
 	Seed uint64
 	// Algorithms restricts the algorithm set (default: all five).
 	Algorithms []string
+	// Parallel is the sweep worker-pool size: how many (sweep point ×
+	// repetition) jobs run concurrently. Non-positive uses one worker per
+	// core. Results (latency values, tables, CSV) are deterministic and
+	// identical at any parallelism; the efficiency metrics (Seconds, MemMB)
+	// are measured under concurrency, so for paper-faithful runtime/memory
+	// figures run with Parallel = 1.
+	Parallel int
 	// Progress, when non-nil, receives one line per completed sweep point.
+	// It is never invoked concurrently, at any parallelism.
 	Progress func(format string, args ...any)
 }
 
@@ -89,6 +98,17 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Algorithms) == 0 {
 		o.Algorithms = AllAlgorithms()
+	}
+	if o.Progress != nil {
+		// Serialize the callback so sweep jobs running on the worker pool
+		// can report progress without burdening callers with locking.
+		var mu sync.Mutex
+		inner := o.Progress
+		o.Progress = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(format, args...)
+		}
 	}
 	return o
 }
@@ -146,12 +166,17 @@ func IDs() []string {
 }
 
 // runPoint executes every requested algorithm on one generated instance and
-// returns per-algorithm single-run metrics.
-func runPoint(in *model.Instance, algos []string, seed uint64) (map[string]Metrics, error) {
+// returns per-algorithm single-run metrics. stabilize forces a GC before
+// each run so the allocation-delta metric is clean; parallel sweeps skip it
+// (a global GC per run would serialize the pool, and the delta is
+// cross-goroutine noise there anyway).
+func runPoint(in *model.Instance, algos []string, seed uint64, stabilize bool) (map[string]Metrics, error) {
 	ci := model.NewCandidateIndex(in)
 	out := make(map[string]Metrics, len(algos))
 	for _, name := range algos {
-		runtime.GC() // stabilise the allocation-delta metric
+		if stabilize {
+			runtime.GC() // stabilise the allocation-delta metric
+		}
 		var res *core.Result
 		var err error
 		switch name {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -219,6 +220,46 @@ func TestTableFormatAndCSV(t *testing.T) {
 	}
 	if lines[0] != "experiment,panel,metric,algorithm,x,value,completed" {
 		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+// TestParallelSweepMatchesSerial: the worker-pool sweep runner must produce
+// exactly the serial results (same Xs order, same latency values, same rep
+// counts) — the deterministic-ordering contract of the parallel refactor.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	for _, id := range []string{"fig3-tasks", "fig4-epsilon"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := tinyOptions()
+		o.Reps = 2
+		o.Parallel = 1
+		serial, err := e.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Parallel = 8
+		var lines int32
+		o.Progress = func(string, ...any) { atomic.AddInt32(&lines, 1) }
+		parallel, err := e.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(serial.Xs, ",") != strings.Join(parallel.Xs, ",") {
+			t.Fatalf("%s: Xs order differs: %v vs %v", id, serial.Xs, parallel.Xs)
+		}
+		for _, x := range serial.Xs {
+			for _, algo := range o.Algorithms {
+				s, p := serial.Cells[x][algo], parallel.Cells[x][algo]
+				if s.Latency != p.Latency || s.Reps != p.Reps || s.Completed != p.Completed {
+					t.Fatalf("%s %s/%s: serial %+v vs parallel %+v", id, x, algo, s, p)
+				}
+			}
+		}
+		if lines == 0 {
+			t.Fatalf("%s: no progress lines under parallel run", id)
+		}
 	}
 }
 

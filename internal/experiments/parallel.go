@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelism resolves Options.Parallel: non-positive means one worker per
+// core. The sweep runners use it to size their worker pools.
+func (o Options) parallelism() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to `workers` goroutines and
+// returns the error of the lowest-indexed failing job (so error reporting is
+// deterministic regardless of scheduling). With workers ≤ 1 it degenerates
+// to a plain sequential loop.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+		next    int
+		wg      sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || firstEr != nil && next > firstI {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstEr == nil || i < firstI {
+			firstI, firstEr = i, err
+		}
+	}
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

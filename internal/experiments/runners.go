@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"ltc/internal/checkin"
+	"ltc/internal/model"
 	"ltc/internal/workload"
 )
 
@@ -87,31 +89,12 @@ func figEpsilon() *Experiment {
 		// accuracies come from ε-independent streams), so each repetition
 		// generates one instance and sweeps ε over it — the same paired
 		// design as the city sweeps.
-		table := newTable(e, o)
-		for rep := 0; rep < o.Reps; rep++ {
+		return sweepEpsilonShared(e, o, func(rep int) (*model.Instance, uint64, error) {
 			cfg := workload.Default().Scale(o.Scale)
 			cfg.Seed = pointSeed(o.Seed, e.ID, rep)
-			base, err := cfg.Generate()
-			if err != nil {
-				return nil, fmt.Errorf("%s rep %d: %w", e.ID, rep, err)
-			}
-			for _, x := range workload.EpsilonSweep() {
-				label := strconv.FormatFloat(x, 'g', -1, 64)
-				in := *base
-				in.Epsilon = x
-				m, err := runPoint(&in, o.Algorithms, cfg.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-				}
-				if _, ok := table.Cells[label]; !ok {
-					table.Xs = append(table.Xs, label)
-					table.Cells[label] = map[string]Metrics{}
-				}
-				accumulate(table.Cells[label], m)
-				o.progress("%s: rep %d ε=%s done", e.ID, rep, label)
-			}
-		}
-		return table, nil
+			in, err := cfg.Generate()
+			return in, cfg.Seed, err
+		})
 	}
 	return e
 }
@@ -125,28 +108,17 @@ func figScalability() *Experiment {
 		Panels: [3]string{"Fig.4b", "Fig.4f", "Fig.4j"},
 	}
 	e.run = func(o Options) (*Table, error) {
-		table := newTable(e, o)
-		for _, x := range workload.ScalabilityTaskSweep() {
-			cfg := workload.Scalability(x).Scale(o.Scale)
-			label := strconv.Itoa(cfg.NumTasks)
-			cell := map[string]Metrics{}
-			for rep := 0; rep < o.Reps; rep++ {
-				cfg.Seed = pointSeed(o.Seed, e.ID, rep)
-				in, err := cfg.Generate()
-				if err != nil {
-					return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-				}
-				m, err := runPoint(in, o.Algorithms, cfg.Seed)
-				if err != nil {
-					return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-				}
-				accumulate(cell, m)
-			}
-			table.Xs = append(table.Xs, label)
-			table.Cells[label] = cell
-			o.progress("%s: |T|=%s done", e.ID, label)
+		xs := workload.ScalabilityTaskSweep()
+		labels := make([]string, len(xs))
+		for i, x := range xs {
+			labels[i] = strconv.Itoa(workload.Scalability(x).Scale(o.Scale).NumTasks)
 		}
-		return table, nil
+		return sweepPool(e, o, labels, func(xIdx, rep int) (*model.Instance, uint64, error) {
+			cfg := workload.Scalability(xs[xIdx]).Scale(o.Scale)
+			cfg.Seed = pointSeed(o.Seed, e.ID, rep)
+			in, err := cfg.Generate()
+			return in, cfg.Seed, err
+		})
 	}
 	return e
 }
@@ -191,60 +163,38 @@ func newTable(e *Experiment, o Options) *Table {
 // mutate applies the sweep value to the config (before scaling) and may
 // return a fixed label; an empty label means "use the scaled task count".
 func sweepSynthetic(e *Experiment, o Options, xs []int, mutate func(*workload.Config, int) string) (*Table, error) {
-	table := newTable(e, o)
-	for _, x := range xs {
+	labels := make([]string, len(xs))
+	for i, x := range xs {
 		cfg := workload.Default()
-		label := mutate(&cfg, x)
-		cfg = cfg.Scale(o.Scale)
-		if label == "" {
-			label = strconv.Itoa(cfg.NumTasks)
+		labels[i] = mutate(&cfg, x)
+		if labels[i] == "" {
+			labels[i] = strconv.Itoa(cfg.Scale(o.Scale).NumTasks)
 		}
-		cell := map[string]Metrics{}
-		for rep := 0; rep < o.Reps; rep++ {
-			cfg.Seed = pointSeed(o.Seed, e.ID, rep)
-			in, err := cfg.Generate()
-			if err != nil {
-				return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-			}
-			m, err := runPoint(in, o.Algorithms, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-			}
-			accumulate(cell, m)
-		}
-		table.Xs = append(table.Xs, label)
-		table.Cells[label] = cell
-		o.progress("%s: %s=%s done", e.ID, e.XLabel, label)
 	}
-	return table, nil
+	return sweepPool(e, o, labels, func(xIdx, rep int) (*model.Instance, uint64, error) {
+		cfg := workload.Default()
+		mutate(&cfg, xs[xIdx])
+		cfg = cfg.Scale(o.Scale)
+		cfg.Seed = pointSeed(o.Seed, e.ID, rep)
+		in, err := cfg.Generate()
+		return in, cfg.Seed, err
+	})
 }
 
 // sweepSyntheticFloat is sweepSynthetic for float sweeps (ε, accuracy µ).
 func sweepSyntheticFloat(e *Experiment, o Options, xs []float64, mutate func(*workload.Config, float64)) (*Table, error) {
-	table := newTable(e, o)
-	for _, x := range xs {
-		cfg := workload.Default()
-		mutate(&cfg, x)
-		cfg = cfg.Scale(o.Scale)
-		label := strconv.FormatFloat(x, 'g', -1, 64)
-		cell := map[string]Metrics{}
-		for rep := 0; rep < o.Reps; rep++ {
-			cfg.Seed = pointSeed(o.Seed, e.ID, rep)
-			in, err := cfg.Generate()
-			if err != nil {
-				return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-			}
-			m, err := runPoint(in, o.Algorithms, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
-			}
-			accumulate(cell, m)
-		}
-		table.Xs = append(table.Xs, label)
-		table.Cells[label] = cell
-		o.progress("%s: %s=%s done", e.ID, e.XLabel, label)
+	labels := make([]string, len(xs))
+	for i, x := range xs {
+		labels[i] = strconv.FormatFloat(x, 'g', -1, 64)
 	}
-	return table, nil
+	return sweepPool(e, o, labels, func(xIdx, rep int) (*model.Instance, uint64, error) {
+		cfg := workload.Default()
+		mutate(&cfg, xs[xIdx])
+		cfg = cfg.Scale(o.Scale)
+		cfg.Seed = pointSeed(o.Seed, e.ID, rep)
+		in, err := cfg.Generate()
+		return in, cfg.Seed, err
+	})
 }
 
 // sweepCity runs the ε sweep on a check-in city trace. The trace is
@@ -252,31 +202,106 @@ func sweepSyntheticFloat(e *Experiment, o Options, xs []float64, mutate func(*wo
 // sweep point is feasible) and the instance's ε is overridden per point,
 // mirroring how the paper reuses one dataset across ε values.
 func sweepCity(e *Experiment, o Options, city checkin.CityConfig) (*Table, error) {
-	table := newTable(e, o)
-	eps := workload.EpsilonSweep()
 	city = city.Scale(o.Scale)
-	city.Epsilon = eps[0] // strictest: δ is largest
-	for rep := 0; rep < o.Reps; rep++ {
+	city.Epsilon = workload.EpsilonSweep()[0] // strictest: δ is largest
+	return sweepEpsilonShared(e, o, func(rep int) (*model.Instance, uint64, error) {
 		cfg := city
 		cfg.Seed = pointSeed(o.Seed, e.ID, rep)
 		tr, err := checkin.Generate(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s rep %d: %w", e.ID, rep, err)
+			return nil, 0, err
 		}
-		for _, x := range eps {
-			label := strconv.FormatFloat(x, 'g', -1, 64)
-			in := *tr.Instance // shallow copy: tasks/workers shared, ε overridden
+		return tr.Instance, cfg.Seed, nil
+	})
+}
+
+// sweepPool runs one job per (sweep point × repetition) on the parallel
+// worker pool and folds the per-job metrics into the table in deterministic
+// x-major, rep-minor order — the exact accumulation order of a serial
+// sweep, so results are identical at any parallelism. Progress for a sweep
+// point is reported when its last repetition completes.
+func sweepPool(e *Experiment, o Options, labels []string, gen func(xIdx, rep int) (*model.Instance, uint64, error)) (*Table, error) {
+	table := newTable(e, o)
+	reps := o.Reps
+	results := make([]map[string]Metrics, len(labels)*reps)
+	pending := make([]int32, len(labels))
+	for i := range pending {
+		pending[i] = int32(reps)
+	}
+	par := o.parallelism()
+	err := forEach(len(results), par, func(j int) error {
+		xIdx, rep := j/reps, j%reps
+		in, seed, err := gen(xIdx, rep)
+		if err != nil {
+			return fmt.Errorf("%s x=%s: %w", e.ID, labels[xIdx], err)
+		}
+		m, err := runPoint(in, o.Algorithms, seed, par == 1)
+		if err != nil {
+			return fmt.Errorf("%s x=%s: %w", e.ID, labels[xIdx], err)
+		}
+		results[j] = m
+		if atomic.AddInt32(&pending[xIdx], -1) == 0 {
+			o.progress("%s: %s=%s done", e.ID, e.XLabel, labels[xIdx])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for xIdx, label := range labels {
+		cell := map[string]Metrics{}
+		for rep := 0; rep < reps; rep++ {
+			accumulate(cell, results[xIdx*reps+rep])
+		}
+		table.Xs = append(table.Xs, label)
+		table.Cells[label] = cell
+	}
+	return table, nil
+}
+
+// sweepEpsilonShared runs the paired ε sweeps: one generated instance per
+// repetition (from gen), every ε of the sweep evaluated on it. Repetitions
+// run as pool jobs; within a job the ε points run serially so all of them
+// see the same instance. Accumulation is rep-major, matching the serial
+// order exactly.
+func sweepEpsilonShared(e *Experiment, o Options, gen func(rep int) (*model.Instance, uint64, error)) (*Table, error) {
+	table := newTable(e, o)
+	eps := workload.EpsilonSweep()
+	labels := make([]string, len(eps))
+	for i, x := range eps {
+		labels[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	results := make([][]map[string]Metrics, o.Reps)
+	par := o.parallelism()
+	err := forEach(o.Reps, par, func(rep int) error {
+		base, seed, err := gen(rep)
+		if err != nil {
+			return fmt.Errorf("%s rep %d: %w", e.ID, rep, err)
+		}
+		out := make([]map[string]Metrics, len(eps))
+		for i, x := range eps {
+			in := *base // shallow copy: tasks/workers shared, ε overridden
 			in.Epsilon = x
-			m, err := runPoint(&in, o.Algorithms, cfg.Seed)
+			m, err := runPoint(&in, o.Algorithms, seed, par == 1)
 			if err != nil {
-				return nil, fmt.Errorf("%s x=%s: %w", e.ID, label, err)
+				return fmt.Errorf("%s x=%s: %w", e.ID, labels[i], err)
 			}
+			out[i] = m
+			o.progress("%s: rep %d ε=%s done", e.ID, rep, labels[i])
+		}
+		results[rep] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for rep := 0; rep < o.Reps; rep++ {
+		for i, label := range labels {
 			if _, ok := table.Cells[label]; !ok {
 				table.Xs = append(table.Xs, label)
 				table.Cells[label] = map[string]Metrics{}
 			}
-			accumulate(table.Cells[label], m)
-			o.progress("%s: rep %d ε=%s done", e.ID, rep, label)
+			accumulate(table.Cells[label], results[rep][i])
 		}
 	}
 	return table, nil

@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"sync"
 
 	"ltc/internal/geo"
 )
@@ -19,15 +20,20 @@ type Candidate struct {
 // eligibility by distance (RadiusBounder), candidates come from a uniform
 // grid over task locations; otherwise every task is checked.
 //
-// The index only depends on task locations and is safe to share across
-// algorithms; Candidates itself is not safe for concurrent use on the same
-// buffer.
+// The index is read-only after construction and safe for concurrent use:
+// one index can serve Candidates queries from many goroutines at once
+// (callers still own their dst buffers). Query scratch space comes from a
+// pool, so the steady-state query path stays allocation-free.
 type CandidateIndex struct {
 	in     *Instance
 	grid   *geo.GridIndex
 	radius float64 // +Inf when the model gives no bound
-	idBuf  []int32
 }
+
+// idBufPool recycles the grid-query scratch buffers of Candidates. A pool
+// (rather than a per-index buffer) keeps CandidateIndex itself immutable, so
+// a single index can be hammered from many goroutines.
+var idBufPool = sync.Pool{New: func() any { return new([]int32) }}
 
 // NewCandidateIndex builds the candidate index for an instance.
 func NewCandidateIndex(in *Instance) *CandidateIndex {
@@ -53,18 +59,22 @@ func NewCandidateIndex(in *Instance) *CandidateIndex {
 func (ci *CandidateIndex) Radius() float64 { return ci.radius }
 
 // Candidates appends to dst every task worker w is eligible for and returns
-// the extended slice. Candidates are ordered by ascending TaskID.
+// the extended slice. Candidates are ordered by ascending TaskID. It is safe
+// to call concurrently from multiple goroutines on one shared index.
 func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
 	if ci.grid != nil {
-		ci.idBuf = ci.grid.Within(w.Loc, ci.radius, ci.idBuf[:0])
+		bufp := idBufPool.Get().(*[]int32)
+		ids := ci.grid.Within(w.Loc, ci.radius, (*bufp)[:0])
 		// Grid results are grouped by cell; sort by id for determinism.
-		sortInt32(ci.idBuf)
-		for _, id := range ci.idBuf {
+		sortInt32(ids)
+		for _, id := range ids {
 			t := ci.in.Tasks[id]
 			if acc, ok := ci.in.Eligible(w, t); ok {
 				dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
 			}
 		}
+		*bufp = ids
+		idBufPool.Put(bufp)
 		return dst
 	}
 	for _, t := range ci.in.Tasks {

@@ -1,0 +1,118 @@
+package model
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"ltc/internal/geo"
+)
+
+// concurrentTestInstance builds a geometric instance with a bounded
+// eligibility radius, so Candidates exercises the grid path (the one that
+// used to share a scratch buffer across callers).
+func concurrentTestInstance(nTasks, nWorkers int) *Instance {
+	rng := rand.New(rand.NewPCG(41, 43))
+	in := &Instance{
+		Epsilon: 0.1,
+		K:       4,
+		Model:   SigmoidDistance{DMax: 30},
+		MinAcc:  0.5,
+	}
+	for t := 0; t < nTasks; t++ {
+		in.Tasks = append(in.Tasks, Task{
+			ID:  TaskID(t),
+			Loc: geo.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+		})
+	}
+	for w := 1; w <= nWorkers; w++ {
+		in.Workers = append(in.Workers, Worker{
+			Index: w,
+			Loc:   geo.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+			Acc:   0.7 + rng.Float64()*0.3,
+		})
+	}
+	return in
+}
+
+// TestCandidateIndexConcurrent is the regression test for the old idBuf
+// aliasing hazard: one shared CandidateIndex must serve Candidates,
+// EligibleWorkerLists and MaxPossibleCredit from many goroutines at once
+// and agree with a serial baseline. Run it with -race.
+func TestCandidateIndexConcurrent(t *testing.T) {
+	in := concurrentTestInstance(500, 400)
+	ci := NewCandidateIndex(in)
+	if ci.Radius() <= 0 || ci.Radius() > 1e6 {
+		t.Fatalf("expected a bounded radius (grid path), got %v", ci.Radius())
+	}
+
+	// Serial baselines.
+	want := make([][]Candidate, len(in.Workers))
+	for i, w := range in.Workers {
+		want[i] = ci.Candidates(w, nil)
+	}
+	wantCredit := ci.MaxPossibleCredit()
+	wantLists := ci.EligibleWorkerLists()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf []Candidate
+			for round := 0; round < 30; round++ {
+				switch (g + round) % 3 {
+				case 0:
+					for i, w := range in.Workers {
+						buf = ci.Candidates(w, buf[:0])
+						if len(buf) != len(want[i]) {
+							t.Errorf("worker %d: %d candidates, want %d", w.Index, len(buf), len(want[i]))
+							return
+						}
+						for j := range buf {
+							if buf[j] != want[i][j] {
+								t.Errorf("worker %d candidate %d drifted", w.Index, j)
+								return
+							}
+						}
+					}
+				case 1:
+					got := ci.MaxPossibleCredit()
+					for tid := range got {
+						if got[tid] != wantCredit[tid] {
+							t.Errorf("MaxPossibleCredit[%d] drifted", tid)
+							return
+						}
+					}
+				default:
+					got := ci.EligibleWorkerLists()
+					for tid := range got {
+						if len(got[tid]) != len(wantLists[tid]) {
+							t.Errorf("EligibleWorkerLists[%d] drifted", tid)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCandidatesCallerBuffersIndependent verifies the fix for the aliasing
+// hazard directly: interleaved queries with distinct dst buffers must not
+// stomp each other's results.
+func TestCandidatesCallerBuffersIndependent(t *testing.T) {
+	in := concurrentTestInstance(200, 50)
+	ci := NewCandidateIndex(in)
+	a := ci.Candidates(in.Workers[0], nil)
+	aCopy := append([]Candidate(nil), a...)
+	b := ci.Candidates(in.Workers[1], nil)
+	_ = b
+	for i := range a {
+		if a[i] != aCopy[i] {
+			t.Fatalf("first query's results mutated by second query at %d", i)
+		}
+	}
+}

@@ -233,6 +233,25 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// ValidateStreaming checks the instance fields the streaming APIs (Session,
+// the sharded dispatch layer) need: Tasks, Model, K and Epsilon must be
+// set. Workers may be empty — they are supplied at check-in time.
+func (in *Instance) ValidateStreaming() error {
+	if len(in.Tasks) == 0 {
+		return ErrNoTasks
+	}
+	if in.Model == nil {
+		return ErrNoModel
+	}
+	if in.K <= 0 {
+		return ErrBadCapacity
+	}
+	if in.Epsilon <= 0 || in.Epsilon >= 1 {
+		return ErrBadEpsilon
+	}
+	return nil
+}
+
 // Eligible reports whether worker w may perform task t under the instance's
 // eligibility threshold, and returns the predicted accuracy.
 func (in *Instance) Eligible(w Worker, t Task) (acc float64, ok bool) {

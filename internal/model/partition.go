@@ -1,0 +1,203 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ltc/internal/geo"
+)
+
+// SubInstance is one shard of a partitioned Instance: a complete, standalone
+// LTC instance over a subset of the source tasks, plus the mapping from its
+// local, consecutive TaskIDs back to the source's global TaskIDs.
+//
+// The sub-instance shares the source's Epsilon, K and MinAcc; its Workers
+// slice is empty — shards are fed workers at check-in time. Its Model wraps
+// the source's so that Predict always sees the *source* task (global ID):
+// ID-sensitive models like MatrixAccuracy stay correct even though the
+// sub-instance renumbers tasks locally.
+type SubInstance struct {
+	In *Instance
+	// Global maps a local TaskID (position in In.Tasks) to the task's
+	// stable global ID in the source instance.
+	Global []TaskID
+}
+
+// Partition splits an Instance's task set into spatially coherent shards,
+// reusing the uniform-grid idea of internal/geo: the task bounding rect is
+// tiled into ~n cells (cols × rows), each non-empty tile becomes one shard,
+// and Locate routes an arbitrary location (a worker check-in) to its shard.
+//
+// A Partition is immutable after construction and safe for concurrent
+// Locate calls — it is the routing table of the sharded dispatch layer.
+type Partition struct {
+	Source *Instance
+	Shards []SubInstance
+
+	origin     geo.Point
+	tileW      float64
+	tileH      float64
+	cols, rows int
+	// tileShard maps a tile index to its shard, -1 for task-free tiles.
+	tileShard []int32
+	// taskShard maps a global TaskID to its shard.
+	taskShard []int32
+	// taskGrid answers nearest-task queries for locations whose own tile
+	// holds no tasks (routing fallback).
+	taskGrid *geo.GridIndex
+}
+
+// ErrBadShardCount is returned when a non-positive shard count is requested.
+var ErrBadShardCount = errors.New("model: shard count must be positive")
+
+// PartitionInstance partitions in's tasks into at most n spatial shards.
+// Fewer shards are returned when some tiles hold no tasks (or n exceeds the
+// task count — a shard is never empty). n = 1 yields a single shard whose
+// sub-instance lists the source tasks in their original order, so any
+// algorithm run on it behaves exactly as on the source.
+func PartitionInstance(in *Instance, n int) (*Partition, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadShardCount, n)
+	}
+	if len(in.Tasks) == 0 {
+		return nil, ErrNoTasks
+	}
+	if n > len(in.Tasks) {
+		n = len(in.Tasks)
+	}
+
+	p := &Partition{Source: in}
+	pts := make([]geo.Point, len(in.Tasks))
+	for i, t := range in.Tasks {
+		pts[i] = t.Loc
+	}
+	rect, _ := geo.BoundingRect(pts)
+	p.origin = rect.Min
+
+	// Near-square tiling with cols·rows ≤ n, so the shard count never
+	// exceeds the request (empty tiles can only shrink it further).
+	p.cols = int(math.Sqrt(float64(n)))
+	if p.cols < 1 {
+		p.cols = 1
+	}
+	p.rows = n / p.cols
+	p.tileW = rect.Width() / float64(p.cols)
+	p.tileH = rect.Height() / float64(p.rows)
+	if p.tileW <= 0 {
+		p.tileW = 1 // degenerate extent: all tasks share one column
+	}
+	if p.tileH <= 0 {
+		p.tileH = 1
+	}
+
+	// Bucket tasks by tile; iterate in global order so each shard's local
+	// task order follows ascending global TaskID.
+	tileTasks := make([][]TaskID, p.cols*p.rows)
+	for _, t := range in.Tasks {
+		c := p.tileIndex(t.Loc)
+		tileTasks[c] = append(tileTasks[c], t.ID)
+	}
+	p.tileShard = make([]int32, p.cols*p.rows)
+	p.taskShard = make([]int32, len(in.Tasks))
+	for c, ids := range tileTasks {
+		if len(ids) == 0 {
+			p.tileShard[c] = -1
+			continue
+		}
+		shard := int32(len(p.Shards))
+		p.tileShard[c] = shard
+		sub := SubInstance{
+			In: &Instance{
+				Tasks:   make([]Task, len(ids)),
+				Epsilon: in.Epsilon,
+				K:       in.K,
+				MinAcc:  in.MinAcc,
+			},
+			Global: make([]TaskID, len(ids)),
+		}
+		for local, gid := range ids {
+			sub.In.Tasks[local] = Task{ID: TaskID(local), Loc: in.Tasks[gid].Loc}
+			sub.Global[local] = gid
+			p.taskShard[gid] = shard
+		}
+		sub.In.Model = newShardModel(in, sub.Global)
+		p.Shards = append(p.Shards, sub)
+	}
+
+	// Fallback router: a check-in landing on a task-free tile (or outside
+	// the rect) goes to the shard of the nearest task. Cell size of one tile
+	// edge keeps nearest-neighbour ring scans short.
+	cell := math.Min(p.tileW, p.tileH)
+	p.taskGrid = geo.NewGridIndex(pts, cell)
+	return p, nil
+}
+
+// shardModel adapts the source accuracy model to a shard's local task
+// numbering: Predict is forwarded with the source task, so models that key
+// off Task.ID (MatrixAccuracy) or any other task identity see global IDs.
+type shardModel struct {
+	src    *Instance
+	global []TaskID
+}
+
+func newShardModel(src *Instance, global []TaskID) AccuracyModel {
+	m := &shardModel{src: src, global: global}
+	if _, ok := src.Model.(RadiusBounder); ok {
+		return &boundedShardModel{shardModel: m}
+	}
+	return m
+}
+
+// Predict implements AccuracyModel.
+func (m *shardModel) Predict(w Worker, t Task) float64 {
+	return m.src.Model.Predict(w, m.src.Tasks[m.global[t.ID]])
+}
+
+// boundedShardModel additionally forwards the eligibility radius, so the
+// per-shard CandidateIndex keeps its spatial pruning.
+type boundedShardModel struct {
+	*shardModel
+}
+
+// EligibilityRadius implements RadiusBounder.
+func (m *boundedShardModel) EligibilityRadius(minAcc float64) float64 {
+	return m.src.Model.(RadiusBounder).EligibilityRadius(minAcc)
+}
+
+// NumShards reports the number of (non-empty) shards.
+func (p *Partition) NumShards() int { return len(p.Shards) }
+
+// TaskShard returns the shard holding the given global task.
+func (p *Partition) TaskShard(t TaskID) int { return int(p.taskShard[t]) }
+
+// Locate routes a location to a shard: the shard of its enclosing tile, or
+// — when that tile holds no tasks — the shard of the nearest task. Safe for
+// concurrent use.
+func (p *Partition) Locate(loc geo.Point) int {
+	if s := p.tileShard[p.tileIndex(loc)]; s >= 0 {
+		return int(s)
+	}
+	id, _, ok := p.taskGrid.Nearest(loc)
+	if !ok {
+		return 0 // unreachable: partitions always hold ≥ 1 task
+	}
+	return int(p.taskShard[id])
+}
+
+// tileIndex returns the tile containing loc, clamped to the tiling extent.
+func (p *Partition) tileIndex(loc geo.Point) int {
+	tx := int(math.Floor((loc.X - p.origin.X) / p.tileW))
+	ty := int(math.Floor((loc.Y - p.origin.Y) / p.tileH))
+	if tx < 0 {
+		tx = 0
+	} else if tx >= p.cols {
+		tx = p.cols - 1
+	}
+	if ty < 0 {
+		ty = 0
+	} else if ty >= p.rows {
+		ty = p.rows - 1
+	}
+	return ty*p.cols + tx
+}

@@ -16,7 +16,9 @@
 //   - the paper's algorithms — offline MCF-LTC (minimum-cost-flow batches)
 //     and Base-off; online LAF, AAM and Random — plus an exact solver for
 //     tiny instances;
-//   - Solve for one-shot runs and Session for streaming online use;
+//   - Solve for one-shot runs, Session for single-threaded streaming use,
+//     and Platform for concurrent check-in streams over spatial shards
+//     (see CONCURRENCY.md);
 //   - workload generators reproducing the paper's synthetic (Table IV) and
 //     Foursquare-style (Table V) datasets;
 //   - a voting simulator to verify completed tasks empirically meet ε.

@@ -1,0 +1,117 @@
+package ltc
+
+import (
+	"fmt"
+	"runtime"
+
+	"ltc/internal/dispatch"
+)
+
+// Platform serves concurrent check-in streams: the task space is split into
+// spatial shards (grid tiles over the task bounding rect), one independent
+// online solver runs per shard, and each arriving worker is routed to the
+// shard owning its location. Check-ins serialize per shard only, so calls
+// landing on disjoint shards proceed fully in parallel — the scalable
+// counterpart of the single-threaded Session.
+//
+// With Shards = 1 a Platform fed workers sequentially in arrival order
+// produces exactly the Session's arrangement. With more shards each worker
+// is only considered for its own shard's tasks, which changes (usually
+// raises) the global latency; see CONCURRENCY.md for the shard model and
+// its latency semantics.
+type Platform struct {
+	d *dispatch.Dispatcher
+}
+
+// ErrPlatformDone is returned by CheckIn once every task has completed.
+var ErrPlatformDone = dispatch.ErrDone
+
+// PlatformOptions tunes NewPlatform.
+type PlatformOptions struct {
+	// Shards is the requested spatial shard count. 0 uses GOMAXPROCS;
+	// negative counts are rejected. The effective count can be lower: empty
+	// spatial tiles collapse and shards never outnumber tasks.
+	Shards int
+	// Seed drives the Random algorithm (per shard), as in SolveOptions.
+	Seed uint64
+}
+
+// ShardStats is one shard's progress snapshot, re-exported from the
+// dispatch layer.
+type ShardStats = dispatch.ShardStats
+
+// NewPlatform builds a sharded platform running the given online algorithm
+// in every shard. The instance's Workers slice may be empty — workers are
+// supplied via CheckIn — but Tasks, Epsilon, K, Model and MinAcc must be
+// set.
+func NewPlatform(in *Instance, algo Algorithm, opts ...PlatformOptions) (*Platform, error) {
+	var o PlatformOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("ltc: shard count must be ≥ 0, got %d", o.Shards)
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if err := validateStreaming(in); err != nil {
+		return nil, err
+	}
+	factory, err := onlineFactory(algo, SolveOptions{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	d, err := dispatch.New(in, o.Shards, factory)
+	if err != nil {
+		return nil, fmt.Errorf("ltc: %w", err)
+	}
+	return &Platform{d: d}, nil
+}
+
+// CheckIn routes the worker to its spatial shard and returns the tasks
+// assigned to it, as TaskIDs of the platform's instance (possibly none). It
+// returns ErrPlatformDone once every task has completed. Safe for
+// concurrent use from any number of goroutines.
+//
+// The worker's Index is its global arrival index and must be ≥ 1; unlike
+// Session.Arrive, indices need not be presented in order — concurrent
+// streams cannot guarantee ordering, and assignment decisions depend only
+// on worker locations and accuracies, never on the index itself.
+func (p *Platform) CheckIn(w Worker) ([]TaskID, error) {
+	out, err := p.d.CheckIn(w)
+	if err != nil {
+		return nil, fmt.Errorf("ltc: %w", err)
+	}
+	return out, nil
+}
+
+// Done reports whether every task has reached the quality threshold.
+func (p *Platform) Done() bool { return p.d.Done() }
+
+// Latency returns the LTC objective so far in global arrival indices: the
+// largest Index among checked-in workers that received an assignment.
+func (p *Platform) Latency() int { return p.d.Latency() }
+
+// WorkersSeen reports how many check-ins have been accepted.
+func (p *Platform) WorkersSeen() int { return p.d.Arrived() }
+
+// Shards reports the effective shard count.
+func (p *Platform) Shards() int { return p.d.NumShards() }
+
+// Progress returns the number of completed tasks and the task total.
+func (p *Platform) Progress() (completed, total int) { return p.d.Progress() }
+
+// ShardStats snapshots per-shard progress: task counts, completion, routed
+// and offered workers, and the shard's latency in global arrival indices
+// (the platform latency is the max over shards).
+func (p *Platform) ShardStats() []ShardStats { return p.d.ShardStats() }
+
+// Credits appends a snapshot of the per-task accumulated Acc* credit to dst
+// and returns the extended slice.
+func (p *Platform) Credits(dst []float64) []float64 { return p.d.Credits(dst) }
+
+// Arrangement merges the per-shard assignments into one arrangement over
+// the platform's instance (global worker indices and TaskIDs). It snapshots
+// live state and may be called at any time.
+func (p *Platform) Arrangement() *Arrangement { return p.d.Arrangement() }

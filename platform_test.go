@@ -1,0 +1,276 @@
+package ltc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPlatformSingleShardMatchesSession is the equivalence contract of the
+// dispatch layer: a 1-shard Platform fed the worker stream sequentially
+// must produce byte-identical arrangements to Session for the
+// deterministic online algorithms.
+func TestPlatformSingleShardMatchesSession(t *testing.T) {
+	in := tinyInstance(t)
+	for _, algo := range []Algorithm{LAF, AAM} {
+		sess, err := NewSession(in, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, err := NewPlatform(in, algo, PlatformOptions{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plat.Shards() != 1 {
+			t.Fatalf("%s: shards = %d", algo, plat.Shards())
+		}
+		for _, w := range in.Workers {
+			if sess.Done() {
+				break
+			}
+			st, err := sess.Arrive(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := plat.CheckIn(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st) != len(pt) {
+				t.Fatalf("%s worker %d: session assigned %v, platform %v", algo, w.Index, st, pt)
+			}
+			for i := range st {
+				if st[i] != pt[i] {
+					t.Fatalf("%s worker %d: assignment %d differs (%d vs %d)", algo, w.Index, i, st[i], pt[i])
+				}
+			}
+		}
+		if !plat.Done() || !sess.Done() {
+			t.Fatalf("%s: done mismatch (session %v, platform %v)", algo, sess.Done(), plat.Done())
+		}
+		if sess.Latency() != plat.Latency() {
+			t.Fatalf("%s: latency %d vs %d", algo, sess.Latency(), plat.Latency())
+		}
+		sa, pa := sess.Arrangement(), plat.Arrangement()
+		if len(sa.Pairs) != len(pa.Pairs) {
+			t.Fatalf("%s: pair counts differ", algo)
+		}
+		for i := range sa.Pairs {
+			if sa.Pairs[i] != pa.Pairs[i] {
+				t.Fatalf("%s: pair %d = %+v vs %+v", algo, i, sa.Pairs[i], pa.Pairs[i])
+			}
+		}
+		for tid := range sa.Accumulated {
+			if sa.Accumulated[tid] != pa.Accumulated[tid] {
+				t.Fatalf("%s: task %d credit %v vs %v", algo, tid, sa.Accumulated[tid], pa.Accumulated[tid])
+			}
+		}
+	}
+}
+
+// TestPlatformShardedRun: a multi-shard platform completes the workload
+// with a valid arrangement and reports per-shard statistics whose global
+// latencies reconcile with the platform's.
+func TestPlatformShardedRun(t *testing.T) {
+	in := tinyInstance(t)
+	plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range in.Workers {
+		if plat.Done() {
+			break
+		}
+		if _, err := plat.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !plat.Done() {
+		t.Fatal("platform incomplete after full stream")
+	}
+	if err := plat.Arrangement().Validate(in, true); err != nil {
+		t.Fatal(err)
+	}
+	completed, total := plat.Progress()
+	if completed != total {
+		t.Fatalf("progress %d/%d", completed, total)
+	}
+	maxGlobal, totWorkers := 0, 0
+	for _, s := range plat.ShardStats() {
+		totWorkers += s.Workers
+		if s.Latency > maxGlobal {
+			maxGlobal = s.Latency
+		}
+	}
+	if maxGlobal != plat.Latency() {
+		t.Fatalf("shard global latencies max %d != platform latency %d", maxGlobal, plat.Latency())
+	}
+	if totWorkers != plat.WorkersSeen() {
+		t.Fatalf("shard workers %d != seen %d", totWorkers, plat.WorkersSeen())
+	}
+	credits := plat.Credits(nil)
+	if len(credits) != len(in.Tasks) {
+		t.Fatalf("credits length %d", len(credits))
+	}
+}
+
+// TestPlatformShardingChangesLatency documents the latency semantics of
+// sharding (see CONCURRENCY.md): workers are only eligible for their own
+// shard's tasks, so on a fixed sequential feed the sharded global latency
+// is at least the 1-shard (Session-equivalent) latency.
+func TestPlatformShardingChangesLatency(t *testing.T) {
+	in := tinyInstance(t)
+	run := func(shards int) (latency int, perShard []int) {
+		plat, err := NewPlatform(in, LAF, PlatformOptions{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range in.Workers {
+			if plat.Done() {
+				break
+			}
+			if _, err := plat.CheckIn(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !plat.Done() {
+			t.Fatalf("shards=%d incomplete", shards)
+		}
+		for _, s := range plat.ShardStats() {
+			perShard = append(perShard, s.Workers)
+		}
+		return plat.Latency(), perShard
+	}
+	base, _ := run(1)
+	sharded, perShard := run(4)
+	if sharded < base {
+		t.Fatalf("sharded latency %d < unsharded %d on fixed feed", sharded, base)
+	}
+	t.Logf("global latency: 1 shard = %d, 4 shards = %d; per-shard worker counts = %v", base, sharded, perShard)
+}
+
+// TestPlatformConcurrentCheckIn hammers one platform from many goroutines
+// (meaningful under -race).
+func TestPlatformConcurrentCheckIn(t *testing.T) {
+	in := tinyInstance(t)
+	plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(in.Workers) {
+					return
+				}
+				if _, err := plat.CheckIn(in.Workers[i]); err != nil {
+					if errors.Is(err, ErrPlatformDone) {
+						return
+					}
+					t.Errorf("CheckIn: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !plat.Done() {
+		t.Fatal("platform incomplete")
+	}
+	if err := plat.Arrangement().Validate(in, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlatformValidation covers the construction error paths.
+func TestPlatformValidation(t *testing.T) {
+	good := tinyInstance(t)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{"no tasks", func(in *Instance) { in.Tasks = nil }},
+		{"nil model", func(in *Instance) { in.Model = nil }},
+		{"bad K", func(in *Instance) { in.K = 0 }},
+		{"bad eps", func(in *Instance) { in.Epsilon = 1 }},
+	} {
+		in := *good
+		tc.mutate(&in)
+		if _, err := NewPlatform(&in, AAM); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewPlatform(good, MCFLTC); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("offline algorithm: err = %v", err)
+	}
+	if _, err := NewPlatform(good, AAM, PlatformOptions{Shards: -2}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	// Shards = 0 defaults to GOMAXPROCS.
+	p, err := NewPlatform(good, AAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() < 1 {
+		t.Fatalf("default shards = %d", p.Shards())
+	}
+}
+
+// TestPlatformCheckInErrors covers the runtime error paths.
+func TestPlatformCheckInErrors(t *testing.T) {
+	in := tinyInstance(t)
+	plat, err := NewPlatform(in, LAF, PlatformOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plat.CheckIn(Worker{Index: 0}); err == nil {
+		t.Fatal("zero index accepted")
+	}
+	for _, w := range in.Workers {
+		if plat.Done() {
+			break
+		}
+		if _, err := plat.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := plat.CheckIn(Worker{Index: 99999, Acc: 0.9}); !errors.Is(err, ErrPlatformDone) {
+		t.Fatalf("err = %v, want ErrPlatformDone", err)
+	}
+}
+
+// TestSessionErrorPaths extends the Session error coverage: out-of-order
+// after progress, repeated indices, and arrival after completion.
+func TestSessionErrorPaths(t *testing.T) {
+	in := tinyInstance(t)
+	sess, err := NewSession(in, LAF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Arrive(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replaying an already-seen index must fail without advancing.
+	if _, err := sess.Arrive(in.Workers[1]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("replay: err = %v", err)
+	}
+	// Skipping ahead must fail too.
+	if _, err := sess.Arrive(in.Workers[7]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("skip: err = %v", err)
+	}
+	if sess.WorkersSeen() != 3 {
+		t.Fatalf("WorkersSeen = %d after rejected arrivals", sess.WorkersSeen())
+	}
+	// Credits snapshot has one entry per task.
+	if c := sess.Credits(nil); len(c) != len(in.Tasks) {
+		t.Fatalf("credits length %d", len(c))
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"ltc/internal/core"
-	"ltc/internal/model"
 )
 
 // Session drives an online algorithm one worker at a time — the natural
@@ -15,11 +14,11 @@ import (
 //
 // Workers must be offered in arrival order with consecutive indices
 // starting at 1; assignments are immediate and irrevocable, matching the
-// online LTC temporal constraint.
+// online LTC temporal constraint. A Session is single-threaded — it is the
+// 1-shard special case of Platform, which serves concurrent check-in
+// streams across spatial shards.
 type Session struct {
-	in        *Instance
-	algo      core.Online
-	arr       *Arrangement
+	eng       *core.Engine
 	nextIndex int
 	tasksBuf  []TaskID
 }
@@ -30,6 +29,15 @@ var (
 	ErrSessionDone = errors.New("ltc: session already completed all tasks")
 )
 
+// validateStreaming wraps model.Instance.ValidateStreaming with the
+// package's error prefix.
+func validateStreaming(in *Instance) error {
+	if err := in.ValidateStreaming(); err != nil {
+		return fmt.Errorf("ltc: %w", err)
+	}
+	return nil
+}
+
 // NewSession starts a streaming session for an online algorithm. The
 // instance's Workers slice may be empty — workers are supplied via Arrive —
 // but Tasks, Epsilon, K, Model and MinAcc must be set.
@@ -38,27 +46,15 @@ func NewSession(in *Instance, algo Algorithm, opts ...SolveOptions) (*Session, e
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	if len(in.Tasks) == 0 {
-		return nil, fmt.Errorf("ltc: %w", model.ErrNoTasks)
-	}
-	if in.Model == nil {
-		return nil, fmt.Errorf("ltc: %w", model.ErrNoModel)
-	}
-	if in.K <= 0 {
-		return nil, fmt.Errorf("ltc: %w", model.ErrBadCapacity)
-	}
-	if in.Epsilon <= 0 || in.Epsilon >= 1 {
-		return nil, fmt.Errorf("ltc: %w", model.ErrBadEpsilon)
+	if err := validateStreaming(in); err != nil {
+		return nil, err
 	}
 	factory, err := onlineFactory(algo, o)
 	if err != nil {
 		return nil, err
 	}
-	ci := o.index(in)
 	return &Session{
-		in:        in,
-		algo:      factory(in, ci),
-		arr:       model.NewArrangement(len(in.Tasks)),
+		eng:       core.NewEngine(in, o.index(in), factory),
 		nextIndex: 1,
 	}, nil
 }
@@ -67,42 +63,34 @@ func NewSession(in *Instance, algo Algorithm, opts ...SolveOptions) (*Session, e
 // (possibly none). It returns ErrSessionDone once every task has completed
 // and ErrOutOfOrder when the worker's index breaks the arrival sequence.
 func (s *Session) Arrive(w Worker) ([]TaskID, error) {
-	if s.algo.Done() {
+	if s.eng.Done() {
 		return nil, ErrSessionDone
 	}
 	if w.Index != s.nextIndex {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrOutOfOrder, w.Index, s.nextIndex)
 	}
 	s.nextIndex++
-	s.tasksBuf = append(s.tasksBuf[:0], s.algo.Arrive(w)...)
-	for _, t := range s.tasksBuf {
-		acc := s.in.Model.Predict(w, s.in.Tasks[t])
-		s.arr.Add(w.Index, t, model.AccStar(acc))
-	}
+	s.tasksBuf = append(s.tasksBuf[:0], s.eng.Arrive(w)...)
 	return s.tasksBuf, nil
 }
 
 // Done reports whether every task has reached the quality threshold.
-func (s *Session) Done() bool { return s.algo.Done() }
+func (s *Session) Done() bool { return s.eng.Done() }
 
 // Latency returns the arrival index of the last worker assigned so far —
 // the LTC objective once Done is true.
-func (s *Session) Latency() int { return s.arr.Latency() }
+func (s *Session) Latency() int { return s.eng.Arrangement().Latency() }
 
 // WorkersSeen reports how many workers have been offered.
 func (s *Session) WorkersSeen() int { return s.nextIndex - 1 }
 
 // Arrangement returns the assignments made so far. The returned value is
 // live; callers must not mutate it.
-func (s *Session) Arrangement() *Arrangement { return s.arr }
+func (s *Session) Arrangement() *Arrangement { return s.eng.Arrangement() }
 
 // Progress returns the number of completed tasks and the task total.
-func (s *Session) Progress() (completed, total int) {
-	delta := s.in.Delta()
-	for _, credit := range s.arr.Accumulated {
-		if model.Completed(credit, delta) {
-			completed++
-		}
-	}
-	return completed, len(s.in.Tasks)
-}
+func (s *Session) Progress() (completed, total int) { return s.eng.Progress() }
+
+// Credits appends a snapshot of the per-task accumulated Acc* credit to dst
+// and returns the extended slice.
+func (s *Session) Credits(dst []float64) []float64 { return s.eng.Credits(dst) }
