@@ -1,0 +1,98 @@
+package ltc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChurnReport summarises one sequential replay of a churn workload.
+type ChurnReport struct {
+	// AbsoluteLatency is the paper's objective: the largest worker index
+	// with an assignment. RelativeLatency measures from each task's post
+	// index instead (equal when nothing was posted late).
+	AbsoluteLatency int
+	RelativeLatency int
+	// Completed tasks reached δ; Expired were retired before reaching it.
+	Completed int
+	Expired   int
+	// WorkersFed is how many workers of the stream were consumed.
+	WorkersFed int
+	// Statuses is the final per-task lifecycle snapshot, in TaskID order.
+	Statuses []TaskStatus
+}
+
+// ReplayChurn drives a churn workload sequentially through a fresh
+// Platform: workers check in one by one, and each lifecycle event fires
+// once its arrival tick is reached — posts must come back with the plan's
+// dense IDs, expiries retire tasks whether or not they completed first.
+// Events scheduled past the end of the worker stream (a TTL can outlive
+// it) fire after the last worker, so every planned expiry lands and the
+// report's Completed + Expired always covers the whole task set.
+func ReplayChurn(cw *ChurnWorkload, algo Algorithm, opts PlatformOptions) (*ChurnReport, error) {
+	plat, err := NewPlatform(cw.Instance, algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChurnReport{}
+	next, pendingPosts := 0, 0
+	for _, e := range cw.Events {
+		if e.Kind == EventPost {
+			pendingPosts++
+		}
+	}
+	fire := func(arrived int) error {
+		for next < len(cw.Events) && cw.Events[next].Arrival <= arrived {
+			e := cw.Events[next]
+			next++
+			switch e.Kind {
+			case EventPost:
+				pendingPosts--
+				id, err := plat.PostTask(e.Task)
+				if err != nil {
+					return err
+				}
+				if id != e.Task.ID {
+					return fmt.Errorf("ltc: posted task got ID %d, churn plan expected %d", id, e.Task.ID)
+				}
+			case EventRetire:
+				if err := plat.RetireTask(e.ID); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := fire(0); err != nil {
+		return nil, err
+	}
+	for i, worker := range cw.Instance.Workers {
+		// Pending retires alone can't need more workers — the trailing fire
+		// below lands them; pending posts can revive a done platform, so
+		// keep feeding while any remain.
+		if plat.Done() && pendingPosts == 0 {
+			break
+		}
+		if _, err := plat.CheckIn(worker); err != nil && !errors.Is(err, ErrPlatformDone) {
+			return nil, err
+		}
+		rep.WorkersFed = i + 1
+		if err := fire(i + 1); err != nil {
+			return nil, err
+		}
+	}
+	// Trailing events: expiries scheduled beyond the stream's end.
+	if err := fire(int(^uint(0) >> 1)); err != nil {
+		return nil, err
+	}
+	rep.AbsoluteLatency = plat.Latency()
+	rep.RelativeLatency = plat.RelativeLatency()
+	rep.Statuses = plat.TaskStatuses()
+	for _, st := range rep.Statuses {
+		if st.Completed {
+			rep.Completed++
+		} else if st.Retired {
+			rep.Expired++
+		}
+	}
+	return rep, nil
+}

@@ -14,6 +14,7 @@
 //	ltcbench -exp table4 -exp-table5
 //	ltcbench -exp fig4-newyork -algos LAF,AAM,Random
 //	ltcbench -exp throughput -shards 1,4,16  # sharded dispatch workers/sec
+//	ltcbench -exp churn -churn-initial 0.6 -churn-ttl 400  # online posts + expiry
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	log.SetPrefix("ltcbench: ")
 
 	var (
-		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5' or 'throughput'")
+		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5', 'throughput' or 'churn'")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
 		reps     = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
 		seed     = flag.Uint64("seed", 42, "base seed")
@@ -42,6 +43,10 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
 		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput (comma-separated)")
+
+		churnShards  = flag.Int("churn-shards", 4, "shard count for -exp churn")
+		churnInitial = flag.Float64("churn-initial", 0, "initial task fraction for -exp churn (0 = default 0.6; rest posted online)")
+		churnTTL     = flag.Int("churn-ttl", 0, "task TTL in arrivals for -exp churn (0 = no expiry)")
 	)
 	flag.Parse()
 
@@ -53,6 +58,7 @@ func main() {
 		fmt.Println("  table4            print the synthetic dataset settings (Table IV)")
 		fmt.Println("  table5            print the check-in dataset presets (Table V)")
 		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards)")
+		fmt.Println("  churn             dynamic task lifecycle: online posts + TTL expiry (-churn-*)")
 		return
 	}
 	if *expID == "" {
@@ -71,6 +77,17 @@ func main() {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
 		if err := runThroughput(*shards, *scale, *seed, algo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "churn":
+		var churnAlgos []string
+		if *algos != "" {
+			for _, a := range strings.Split(*algos, ",") {
+				churnAlgos = append(churnAlgos, strings.TrimSpace(a))
+			}
+		}
+		if err := runChurn(*scale, *seed, *churnShards, *churnInitial, *churnTTL, churnAlgos); err != nil {
 			log.Fatal(err)
 		}
 		return

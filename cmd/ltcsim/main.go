@@ -38,6 +38,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "city trace scale factor")
 		trials  = flag.Int("trials", 200, "voting simulation trials")
 		shards  = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
+		churn   = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
+		ttl     = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,53 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *churn > 0 {
+		if *city != "" {
+			log.Fatal("-churn only supports synthetic workloads")
+		}
+		if err := runChurn(*tasks, *workers, *k, *epsilon, *seed, *churn, *ttl, *shards); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runChurn replays a dynamic task lifecycle scenario: a fraction of the
+// tasks is posted online (Poisson on the arrival clock) and optionally
+// expires after a TTL. Reported are the paper's absolute latency and the
+// lifecycle-aware relative latency (worker index − task post index).
+func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac float64, ttl, shards int) error {
+	cc := ltc.DefaultChurn(syntheticConfig(tasks, workers, k, epsilon, seed))
+	cc.InitialFraction = 1 - churnFrac
+	if cc.InitialFraction <= 0 {
+		// -churn 1: everything posted online except the single seed task the
+		// generator keeps (spatial partitioning needs at least one).
+		cc.InitialFraction = 1e-9
+	}
+	cc.TTL = ttl
+	cc.Seed = seed
+	cw, err := cc.Generate()
+	if err != nil {
+		return err
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	fmt.Printf("\ndynamic tasks (%d initial, %d posted online, TTL %d, %d shards):\n",
+		cw.InitialTasks, cw.TotalTasks-cw.InitialTasks, ttl, shards)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tabs latency\trel latency\tcompleted\texpired")
+	for _, algo := range ltc.Algorithms() {
+		if !algo.IsOnline() {
+			continue
+		}
+		rep, err := ltc.ReplayChurn(cw, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d/%d\t%d\n",
+			algo, rep.AbsoluteLatency, rep.RelativeLatency, rep.Completed, cw.TotalTasks, rep.Expired)
+	}
+	return w.Flush()
 }
 
 // runSharded replays the worker stream through the sharded Platform for
@@ -136,21 +185,26 @@ func runSharded(in *ltc.Instance, shards int, seed uint64) error {
 	return nil
 }
 
+// syntheticConfig builds the Table IV-shaped workload for arbitrary
+// task/worker counts, keeping Table IV's spatial worker density so the
+// counts stay feasible: grid area scales with the worker count.
+func syntheticConfig(tasks, workers, k int, epsilon float64, seed uint64) ltc.WorkloadConfig {
+	cfg := ltc.DefaultWorkload()
+	cfg.NumTasks = tasks
+	cfg.NumWorkers = workers
+	cfg.K = k
+	cfg.Epsilon = epsilon
+	cfg.Seed = seed
+	side := math.Sqrt(float64(workers) / 40000.0)
+	cfg.GridWidth *= side
+	cfg.GridHeight *= side
+	return cfg
+}
+
 func buildInstance(city string, scale float64, tasks, workers, k int, epsilon float64, seed uint64) (*ltc.Instance, error) {
 	switch city {
 	case "":
-		cfg := ltc.DefaultWorkload()
-		cfg.NumTasks = tasks
-		cfg.NumWorkers = workers
-		cfg.K = k
-		cfg.Epsilon = epsilon
-		cfg.Seed = seed
-		// Keep Table IV's spatial worker density so arbitrary counts stay
-		// feasible: grid area scales with the worker count.
-		side := math.Sqrt(float64(workers) / 40000.0)
-		cfg.GridWidth *= side
-		cfg.GridHeight *= side
-		return cfg.Generate()
+		return syntheticConfig(tasks, workers, k, epsilon, seed).Generate()
 	case "newyork", "tokyo":
 		cfg := ltc.NewYork()
 		if city == "tokyo" {

@@ -26,6 +26,29 @@ const (
 	DistUniform = workload.DistUniform
 )
 
+// Dynamic task lifecycle workloads (online posts + TTL expiry), re-exported.
+
+type (
+	// ChurnConfig describes a workload whose task set mutates online:
+	// Poisson task posts on the arrival clock plus optional TTL expiry.
+	ChurnConfig = workload.ChurnConfig
+	// ChurnWorkload is a generated churn scenario: initial instance plus
+	// ordered post/retire events to replay against a Platform.
+	ChurnWorkload = workload.ChurnWorkload
+	// TaskEvent is one lifecycle event (post or retire) on the arrival clock.
+	TaskEvent = workload.TaskEvent
+)
+
+// Lifecycle event kinds for TaskEvent.
+const (
+	EventPost   = workload.EventPost
+	EventRetire = workload.EventRetire
+)
+
+// DefaultChurn returns a churn scenario over the given base workload with
+// 60% of the tasks present initially and 40% posted online (no expiry).
+func DefaultChurn(base WorkloadConfig) ChurnConfig { return workload.DefaultChurn(base) }
+
 // DefaultWorkload returns Table IV's default synthetic setting
 // (|T| = 3000, |W| = 40000, K = 6, Normal(0.86, 0.05), ε = 0.1). Use
 // .Scale(f) for laptop-sized variants.

@@ -1,19 +1,36 @@
 package core
 
-import "ltc/internal/model"
+import (
+	"fmt"
+
+	"ltc/internal/model"
+)
 
 // Engine binds an Online solver to an instance (or to one shard's
 // sub-instance) and keeps the bookkeeping every caller of Arrive was
-// duplicating: the growing Arrangement, per-task credit, and an O(1)
-// completed-task counter. It is the single-threaded building block of both
-// the streaming Session API and the sharded dispatch layer — callers that
-// share an Engine across goroutines must serialize access themselves.
+// duplicating: the growing Arrangement, per-task credit, an O(1)
+// completed-task counter, and — for the online task lifecycle — each task's
+// post index and the last worker index assigned to it. It is the
+// single-threaded building block of both the streaming Session API and the
+// sharded dispatch layer — callers that share an Engine across goroutines
+// must serialize access themselves.
 type Engine struct {
 	in        *model.Instance
+	ci        *model.CandidateIndex
 	algo      Online
 	arr       *model.Arrangement
 	delta     float64
 	completed int
+	retired   int
+	// postIndex[t] is the caller's arrival clock when task t was posted
+	// (0 for tasks present from the start); lastUsed[t] is the largest
+	// worker index assigned to t so far. Together they give each task's
+	// absolute and post-relative latency in O(1).
+	postIndex []int
+	lastUsed  []int
+	// retiredMask mirrors the solver's closed set so the engine can answer
+	// per-task status without reaching into solver internals.
+	retiredMask []bool
 }
 
 // NewEngine builds an engine around a fresh solver from factory. The
@@ -21,10 +38,14 @@ type Engine struct {
 // instance's Workers slice may be empty: workers arrive via Arrive.
 func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFactory) *Engine {
 	return &Engine{
-		in:    in,
-		algo:  factory(in, ci),
-		arr:   model.NewArrangement(len(in.Tasks)),
-		delta: in.Delta(),
+		in:          in,
+		ci:          ci,
+		algo:        factory(in, ci),
+		arr:         model.NewArrangement(len(in.Tasks)),
+		delta:       in.Delta(),
+		postIndex:   make([]int, len(in.Tasks)),
+		lastUsed:    make([]int, len(in.Tasks)),
+		retiredMask: make([]bool, len(in.Tasks)),
 	}
 }
 
@@ -44,11 +65,71 @@ func (e *Engine) Arrive(w model.Worker) []model.TaskID {
 		if !was && model.Completed(e.arr.Accumulated[t], e.delta) {
 			e.completed++
 		}
+		if w.Index > e.lastUsed[t] {
+			e.lastUsed[t] = w.Index
+		}
 	}
 	return out
 }
 
-// Done reports whether every task has reached the quality threshold.
+// PostTask extends the engine — its candidate index and its solver — with a
+// task posted mid-stream. The caller must already have appended t to the
+// instance's Tasks slice — the engine checks the dense-ID invariant but
+// does not own the task table. postIndex is the caller's arrival clock at
+// post time (the dispatch layer passes the largest worker index seen); a
+// late-posted task's latency is reported both absolute (worker index) and
+// relative to this index.
+func (e *Engine) PostTask(t model.Task, postIndex int) error {
+	lc, ok := e.algo.(TaskLifecycle)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoLifecycle, e.algo.Name())
+	}
+	if n := len(e.arr.Accumulated); int(t.ID) != n {
+		return fmt.Errorf("core: posted task ID %d does not extend the dense ID space (%d tasks)", t.ID, n)
+	}
+	if int(t.ID) >= len(e.in.Tasks) || e.in.Tasks[t.ID].Loc != t.Loc {
+		return fmt.Errorf("core: posted task %d not present in the instance task table", t.ID)
+	}
+	// Index first: its dense check is the last failure point, so the solver
+	// is only notified once the task is fully visible.
+	if err := e.ci.Insert(t); err != nil {
+		return err
+	}
+	e.arr.EnsureTasks(int(t.ID) + 1)
+	e.postIndex = append(e.postIndex, postIndex)
+	e.lastUsed = append(e.lastUsed, 0)
+	e.retiredMask = append(e.retiredMask, false)
+	lc.PostTask(t.ID)
+	return nil
+}
+
+// RetireTask removes task t from play: it leaves the candidate index, the
+// solver stops assigning it, and it no longer blocks Done. It reports
+// whether the task was still open (below δ and not already retired) —
+// retiring a completed or already-retired task is a harmless no-op with
+// wasOpen = false.
+func (e *Engine) RetireTask(t model.TaskID) (wasOpen bool, err error) {
+	if t < 0 || int(t) >= len(e.arr.Accumulated) {
+		return false, fmt.Errorf("core: retire of unknown task %d", t)
+	}
+	lc, ok := e.algo.(TaskLifecycle)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoLifecycle, e.algo.Name())
+	}
+	if e.ci.Live(t) {
+		if err := e.ci.Remove(t); err != nil {
+			return false, err
+		}
+	}
+	wasOpen = lc.RetireTask(t)
+	if !e.retiredMask[t] {
+		e.retiredMask[t] = true
+		e.retired++
+	}
+	return wasOpen, nil
+}
+
+// Done reports whether every live task has reached the quality threshold.
 func (e *Engine) Done() bool { return e.algo.Done() }
 
 // Name returns the bound solver's algorithm name.
@@ -61,11 +142,32 @@ func (e *Engine) Instance() *model.Instance { return e.in }
 // live; callers must not mutate it.
 func (e *Engine) Arrangement() *model.Arrangement { return e.arr }
 
-// Progress returns the number of completed tasks and the task total in
-// O(1) — the snapshot the platform surfaces per shard.
+// Progress returns the number of tasks that reached δ and the total number
+// of tasks ever tracked (retired tasks included in both totals when they
+// completed before retirement).
 func (e *Engine) Progress() (completed, total int) {
-	return e.completed, len(e.in.Tasks)
+	return e.completed, len(e.arr.Accumulated)
 }
+
+// Retired returns how many tasks have been retired (whether or not they
+// completed first).
+func (e *Engine) Retired() int { return e.retired }
+
+// TaskPostIndex returns the arrival clock recorded when task t was posted
+// (0 for initial tasks).
+func (e *Engine) TaskPostIndex(t model.TaskID) int { return e.postIndex[t] }
+
+// TaskLastUsed returns the largest worker index assigned to task t so far
+// (0 when the task has no assignments).
+func (e *Engine) TaskLastUsed(t model.TaskID) int { return e.lastUsed[t] }
+
+// TaskCompleted reports whether task t has reached δ.
+func (e *Engine) TaskCompleted(t model.TaskID) bool {
+	return model.Completed(e.arr.Accumulated[t], e.delta)
+}
+
+// TaskRetired reports whether task t has been retired.
+func (e *Engine) TaskRetired(t model.TaskID) bool { return e.retiredMask[t] }
 
 // Credits appends a snapshot of the per-task accumulated Acc* credit to dst
 // and returns the extended slice.

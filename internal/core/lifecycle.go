@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+
+	"ltc/internal/model"
+)
+
+// TaskLifecycle is implemented by online solvers that support a mutable
+// task set: tasks posted mid-stream (their δ-threshold accumulation starts
+// at zero from the post) and tasks retired before completion (they stop
+// being assignable and no longer block Done).
+//
+// All of the paper's online solvers (LAF, AAM, Random) implement it; the
+// offline solvers see the whole instance at once and do not.
+type TaskLifecycle interface {
+	// PostTask extends the solver's task set with a newly posted task. IDs
+	// are dense: posting id n is only valid when the solver tracks n tasks.
+	PostTask(t model.TaskID)
+	// RetireTask removes the task from play and reports whether it was
+	// still open (not yet at δ and not already retired).
+	RetireTask(t model.TaskID) bool
+}
+
+// ErrNoLifecycle is returned when a dynamic-task operation reaches a solver
+// that does not implement TaskLifecycle.
+var ErrNoLifecycle = errors.New("core: solver does not support dynamic task lifecycle")
+
+// PostTask implements TaskLifecycle.
+func (l *LAF) PostTask(t model.TaskID) { l.state.open(t) }
+
+// RetireTask implements TaskLifecycle.
+func (l *LAF) RetireTask(t model.TaskID) bool { return l.state.close(t) }
+
+// PostTask implements TaskLifecycle.
+func (a *AAM) PostTask(t model.TaskID) { a.state.open(t) }
+
+// RetireTask implements TaskLifecycle.
+func (a *AAM) RetireTask(t model.TaskID) bool { return a.state.close(t) }
+
+// PostTask implements TaskLifecycle.
+func (r *Random) PostTask(t model.TaskID) { r.state.open(t) }
+
+// RetireTask implements TaskLifecycle.
+func (r *Random) RetireTask(t model.TaskID) bool { return r.state.close(t) }

@@ -6,9 +6,16 @@ import "ltc/internal/model"
 // accumulated Acc* credit S[t] (line "S stores accumulated value for each
 // task" of Algorithms 1-3) plus a count of tasks still below δ so AllDone
 // is O(1).
+//
+// The state supports the online task lifecycle: open extends S with a task
+// posted mid-stream (its δ-threshold race starts at zero from that moment),
+// close retires a task so it stops counting toward remaining and stops
+// being assignable. With no opens/closes the behaviour is exactly the
+// fixed-task-set original.
 type taskState struct {
 	delta     float64
 	s         []float64
+	closed    []bool
 	remaining int
 }
 
@@ -16,13 +23,42 @@ func newTaskState(numTasks int, delta float64) *taskState {
 	return &taskState{
 		delta:     delta,
 		s:         make([]float64, numTasks),
+		closed:    make([]bool, numTasks),
 		remaining: numTasks,
 	}
 }
 
-// done reports whether task t has reached the quality threshold.
+// open extends the state with a newly posted task. Task IDs are dense:
+// opening id n is only valid when the state currently tracks n tasks.
+func (ts *taskState) open(t model.TaskID) {
+	if int(t) != len(ts.s) {
+		panic("core: task IDs must extend the dense ID space")
+	}
+	ts.s = append(ts.s, 0)
+	ts.closed = append(ts.closed, false)
+	ts.remaining++
+}
+
+// close retires task t: it no longer counts toward remaining and done
+// reports true for it. It reports whether the task was still open (below δ
+// and not already closed) — the caller's signal that an incomplete task was
+// expired rather than finished.
+func (ts *taskState) close(t model.TaskID) bool {
+	if ts.closed[t] {
+		return false
+	}
+	open := !model.Completed(ts.s[t], ts.delta)
+	ts.closed[t] = true
+	if open {
+		ts.remaining--
+	}
+	return open
+}
+
+// done reports whether task t needs no further work: it reached the quality
+// threshold or was retired.
 func (ts *taskState) done(t model.TaskID) bool {
-	return model.Completed(ts.s[t], ts.delta)
+	return ts.closed[t] || model.Completed(ts.s[t], ts.delta)
 }
 
 // add credits task t and reports whether this credit completed it.
@@ -36,11 +72,15 @@ func (ts *taskState) add(t model.TaskID, credit float64) bool {
 	return false
 }
 
-// allDone reports whether every task has reached δ.
+// allDone reports whether every live task has reached δ.
 func (ts *taskState) allDone() bool { return ts.remaining == 0 }
 
-// need returns max(0, δ − S[t]): the credit task t still needs.
+// need returns max(0, δ − S[t]): the credit task t still needs. Retired
+// tasks need nothing.
 func (ts *taskState) need(t model.TaskID) float64 {
+	if ts.closed[t] {
+		return 0
+	}
 	n := ts.delta - ts.s[t]
 	if n < 0 {
 		return 0
@@ -50,6 +90,7 @@ func (ts *taskState) need(t model.TaskID) float64 {
 
 // totalNeed returns Σ_t max(0, δ − S[t]) and the largest single-task need —
 // the "average × K" numerator and "maximum" of AAM's switching rule.
+// Retired tasks contribute nothing.
 func (ts *taskState) totalNeed() (sum, maxNeed float64) {
 	for t := range ts.s {
 		n := ts.need(model.TaskID(t))

@@ -7,6 +7,13 @@
 // real-time assignment pattern of hyperlocal spatial-crowdsourcing
 // frameworks (Tran et al.), applied to the paper's LAF/AAM/Random solvers.
 //
+// The task set is mutable while workers stream in: PostTask routes a new
+// task to the shard owning its location (per-shard candidate indexes update
+// incrementally) and RetireTask expires a stale one. Both are safe to call
+// concurrently with CheckIn. A task posted after p check-ins has its latency
+// reported both absolutely (global worker index, the paper's objective) and
+// relative to its post index p — see RelativeLatency.
+//
 // Latency semantics: workers keep their global arrival indices (the online
 // solvers assign from location and accuracy only, so no per-shard
 // renumbering is needed), and all latencies — per shard and platform-wide —
@@ -30,15 +37,19 @@ import (
 // Dispatcher errors.
 var (
 	// ErrDone is returned by CheckIn once every task of every shard has
-	// reached its quality threshold.
+	// reached its quality threshold. Posting a new task revives the
+	// dispatcher: subsequent check-ins are accepted again.
 	ErrDone = errors.New("dispatch: all tasks completed")
 	// ErrBadWorkerIndex is returned for check-ins without a positive global
 	// arrival index.
 	ErrBadWorkerIndex = errors.New("dispatch: worker arrival index must be ≥ 1")
+	// ErrUnknownTask is returned by RetireTask for ids never posted.
+	ErrUnknownTask = errors.New("dispatch: unknown task ID")
 )
 
-// shard pairs one spatial sub-instance with its solver engine and the
-// mutex serializing its check-ins.
+// shard pairs one spatial sub-instance with its solver engine, its
+// incrementally updatable candidate index, and the mutex serializing its
+// check-ins and task-lifecycle updates.
 //
 // Workers keep their global arrival indices: the online solvers never read
 // Worker.Index (only locations and accuracies drive assignment), so the
@@ -47,7 +58,7 @@ var (
 type shard struct {
 	mu  sync.Mutex
 	eng *core.Engine
-	sub model.SubInstance
+	sub *model.SubInstance
 	// workers holds the workers offered to the shard's solver, in arrival
 	// order, keyed by global index for the merged-arrangement rebuild.
 	workers map[int]model.Worker
@@ -58,14 +69,29 @@ type shard struct {
 	offered int
 }
 
+// taskRecord locates one global task: its owning shard and shard-local ID.
+type taskRecord struct {
+	shard int32
+	local model.TaskID
+}
+
 // Dispatcher routes concurrent worker check-ins to per-shard online solvers.
 // Construct with New; all methods are safe for concurrent use.
 type Dispatcher struct {
 	part      *model.Partition
 	shards    []*shard
-	remaining atomic.Int64 // tasks not yet at δ, across all shards
-	arrived   atomic.Int64 // total check-ins accepted
+	remaining atomic.Int64 // live tasks not yet at δ, across all shards
+	total     atomic.Int64 // tasks ever posted (initial + PostTask)
+	arrived   atomic.Int64 // total check-ins received
+	maxSeen   atomic.Int64 // arrival clock: largest worker index seen (incl. bounced)
 	maxUsed   atomic.Int64 // global latency: max global index with an assignment
+	maxRel    atomic.Int64 // max (global index − task post index) over assignments
+
+	// regMu guards records, the global TaskID → (shard, local) registry.
+	// Lock order: regMu before a shard mutex, never the reverse; CheckIn
+	// takes only the shard mutex.
+	regMu   sync.RWMutex
+	records []taskRecord
 }
 
 // New partitions the instance into up to nShards spatial shards and binds a
@@ -80,6 +106,7 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory) (*Dispatch
 		return nil, err
 	}
 	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards())}
+	d.records = make([]taskRecord, len(in.Tasks))
 	for i, sub := range part.Shards {
 		ci := model.NewCandidateIndex(sub.In)
 		d.shards[i] = &shard{
@@ -87,8 +114,12 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory) (*Dispatch
 			sub:     sub,
 			workers: make(map[int]model.Worker),
 		}
+		for local, gid := range sub.Global {
+			d.records[gid] = taskRecord{shard: int32(i), local: model.TaskID(local)}
+		}
 	}
 	d.remaining.Store(int64(len(in.Tasks)))
+	d.total.Store(int64(len(in.Tasks)))
 	return d, nil
 }
 
@@ -109,7 +140,14 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 	if w.Index < 1 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
 	}
+	// Tick the arrival clock before anything can bounce the call: post
+	// indices (and therefore relative latency) anchor to the largest worker
+	// index seen, in the same unit as Latency, and must keep advancing even
+	// while the platform is momentarily complete — a later PostTask can
+	// revive it.
+	atomicMax(&d.maxSeen, int64(w.Index))
 	if d.Done() {
+		d.arrived.Add(1)
 		return nil, ErrDone
 	}
 	s := d.shards[d.part.Locate(w.Loc)]
@@ -125,8 +163,12 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 	before, _ := s.eng.Progress()
 	assigned := s.eng.Arrive(w)
 	out := make([]model.TaskID, len(assigned))
+	maxRel := 0
 	for i, t := range assigned {
 		out[i] = s.sub.Global[t]
+		if rel := w.Index - s.eng.TaskPostIndex(t); rel > maxRel {
+			maxRel = rel
+		}
 	}
 	if len(assigned) > 0 {
 		s.workers[w.Index] = w
@@ -136,12 +178,8 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 
 	d.arrived.Add(1)
 	if len(assigned) > 0 {
-		for {
-			cur := d.maxUsed.Load()
-			if int64(w.Index) <= cur || d.maxUsed.CompareAndSwap(cur, int64(w.Index)) {
-				break
-			}
-		}
+		atomicMax(&d.maxUsed, int64(w.Index))
+		atomicMax(&d.maxRel, int64(maxRel))
 	}
 	if done := after - before; done > 0 {
 		d.remaining.Add(int64(-done))
@@ -149,27 +187,122 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 	return out, nil
 }
 
-// Done reports whether every task of every shard has reached δ.
+// atomicMax raises v to at least x.
+func atomicMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// PostTask adds a task to the live platform and returns its global TaskID
+// (dense, in post order after the initial set). The task is owned by the
+// shard its location routes to — the same shard every worker at that
+// location routes to, so late-posted tasks are always reachable, including
+// ones landing in tiles that held no initial task. Its post index (the
+// largest worker index seen so far — the arrival clock) anchors the
+// relative latency accounting. Safe to call concurrently with CheckIn;
+// posts serialize among themselves and with RetireTask.
+func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	gid := model.TaskID(len(d.records))
+	si := d.part.Locate(t.Loc)
+	s := d.shards[si]
+	post := int(d.maxSeen.Load())
+
+	s.mu.Lock()
+	local := s.sub.AppendTask(model.Task{ID: gid, Loc: t.Loc})
+	err := s.eng.PostTask(local, post)
+	if err == nil {
+		// Count the task before releasing the shard: once unlocked, a
+		// concurrent CheckIn may complete it and decrement remaining — if
+		// the increment came later, Done() could read spuriously true while
+		// other tasks are still open.
+		d.total.Add(1)
+		d.remaining.Add(1)
+	} else {
+		// Only reachable with a solver that lacks TaskLifecycle. Roll the
+		// append back so the sub-instance stays in step with the engine and
+		// the next post fails with the same honest error.
+		s.sub.TruncateLast()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+
+	d.records = append(d.records, taskRecord{shard: int32(si), local: local.ID})
+	return gid, nil
+}
+
+// RetireTask expires the task with the given global ID: its shard's solver
+// stops assigning it, it leaves the shard's candidate index, and it no
+// longer blocks Done. Retiring a task that already completed (or was
+// already retired) is a harmless no-op. Safe to call concurrently with
+// CheckIn.
+func (d *Dispatcher) RetireTask(id model.TaskID) error {
+	d.regMu.RLock()
+	if id < 0 || int(id) >= len(d.records) {
+		d.regMu.RUnlock()
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	rec := d.records[id]
+	d.regMu.RUnlock()
+
+	s := d.shards[rec.shard]
+	s.mu.Lock()
+	wasOpen, err := s.eng.RetireTask(rec.local)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if wasOpen {
+		d.remaining.Add(-1)
+	}
+	return nil
+}
+
+// Done reports whether every live task of every shard has reached δ
+// (retired tasks don't block completion; a PostTask can revive a done
+// dispatcher).
 func (d *Dispatcher) Done() bool { return d.remaining.Load() == 0 }
 
 // Latency returns the global LTC objective so far: the largest global
 // arrival index among workers that received at least one assignment.
 func (d *Dispatcher) Latency() int { return int(d.maxUsed.Load()) }
 
-// Arrived reports how many check-ins have been accepted.
+// RelativeLatency returns the lifecycle-aware counterpart: the largest
+// (worker index − task post index) over all assignments, where a post
+// index is the largest worker index seen at post time — the same unit as
+// Latency, so the value stays meaningful for sparse or out-of-order index
+// feeds. For platforms whose tasks were all present from the start this
+// equals Latency; with late posts it measures each task's wait from the
+// moment it entered the system. Exact for sequential feeds, a close bound
+// under concurrency (the watermark and the worker indices race benignly).
+func (d *Dispatcher) RelativeLatency() int { return int(d.maxRel.Load()) }
+
+// Arrived reports how many check-ins have been received (including ones
+// bounced because the platform was momentarily complete).
 func (d *Dispatcher) Arrived() int { return int(d.arrived.Load()) }
 
-// Progress returns the number of completed tasks and the task total.
-func (d *Dispatcher) Progress() (completed, total int) {
-	total = len(d.part.Source.Tasks)
+// Progress returns the number of resolved tasks and the task total (all
+// tasks ever posted). Resolved means reached δ or retired before reaching
+// it — both never need another worker.
+func (d *Dispatcher) Progress() (resolved, total int) {
+	total = int(d.total.Load())
 	return total - int(d.remaining.Load()), total
 }
 
 // ShardStats is one shard's progress/credit snapshot.
 type ShardStats struct {
-	// Tasks is the shard's task count; Completed of them have reached δ.
+	// Tasks is the shard's task count (including posted and retired tasks);
+	// Completed of them have reached δ and Retired were expired.
 	Tasks     int
 	Completed int
+	Retired   int
 	// Workers is the number of check-ins routed to the shard (including
 	// ones arriving after the shard completed); Offered of them were
 	// presented to the shard's solver.
@@ -191,6 +324,7 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 		out[i] = ShardStats{
 			Tasks:     total,
 			Completed: completed,
+			Retired:   s.eng.Retired(),
 			Workers:   s.routed,
 			Offered:   s.offered,
 			Latency:   s.eng.Arrangement().Latency(),
@@ -200,11 +334,62 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 	return out
 }
 
+// TaskStatus is one task's lifecycle snapshot, in global terms.
+type TaskStatus struct {
+	ID model.TaskID
+	// PostIndex is the arrival clock at post time — the largest worker
+	// index seen when the task was posted (0 for initial tasks).
+	PostIndex int
+	// LastUsed is the global index of the last worker assigned to the task
+	// (0 when it has none). While the task is incomplete this is a running
+	// value; once Completed it is the task's absolute latency, and
+	// LastUsed − PostIndex its relative latency.
+	LastUsed  int
+	Completed bool
+	Retired   bool
+}
+
+// TaskStatuses snapshots every task ever posted, in global TaskID order.
+// Shards are locked one at a time and only while reading their own tasks
+// (per-shard consistent view; the grouping pass runs unlocked).
+func (d *Dispatcher) TaskStatuses() []TaskStatus {
+	d.regMu.RLock()
+	records := d.records[:len(d.records):len(d.records)]
+	d.regMu.RUnlock()
+	out := make([]TaskStatus, len(records))
+	byShard := make([][]int32, len(d.shards))
+	for gid, rec := range records {
+		out[gid].ID = model.TaskID(gid)
+		byShard[rec.shard] = append(byShard[rec.shard], int32(gid))
+	}
+	// Every shard owns at least one task (empty tiles collapse at
+	// partitioning), so each per-shard pass does real work.
+	for si, gids := range byShard {
+		s := d.shards[si]
+		s.mu.Lock()
+		for _, gid := range gids {
+			local := records[gid].local
+			out[gid].PostIndex = s.eng.TaskPostIndex(local)
+			out[gid].LastUsed = s.eng.TaskLastUsed(local)
+			out[gid].Completed = s.eng.TaskCompleted(local)
+			out[gid].Retired = s.eng.TaskRetired(local)
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Credits appends a snapshot of the per-task accumulated Acc* credit, in
-// global TaskID order, to dst and returns the extended slice.
+// global TaskID order over every task ever posted, to dst and returns the
+// extended slice.
 func (d *Dispatcher) Credits(dst []float64) []float64 {
+	// Holding the registry read lock pins the dense ID space for the whole
+	// merge (posts briefly wait; lock order regMu → shard mu matches
+	// PostTask).
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	base := len(dst)
-	dst = append(dst, make([]float64, len(d.part.Source.Tasks))...)
+	dst = append(dst, make([]float64, int(d.total.Load()))...)
 	for _, s := range d.shards {
 		s.mu.Lock()
 		for local, acc := range s.eng.Arrangement().Accumulated {
@@ -216,20 +401,24 @@ func (d *Dispatcher) Credits(dst []float64) []float64 {
 }
 
 // Arrangement merges the per-shard arrangements into one over the source
-// instance: worker indices are already global, task IDs are mapped back via
-// the partition. Assignment credit is re-derived from the source accuracy
-// model, which yields the same float additions in the same order as the
-// shard engines performed, so accumulated credit matches Credits exactly.
+// instance (plus any posted tasks): worker indices are already global, task
+// IDs are mapped back via each shard's global table. Assignment credit is
+// re-derived from the source accuracy model, which yields the same float
+// additions in the same order as the shard engines performed, so
+// accumulated credit matches Credits exactly.
 func (d *Dispatcher) Arrangement() *model.Arrangement {
+	// Pin the dense ID space during the merge (see Credits).
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
 	src := d.part.Source
-	merged := model.NewArrangement(len(src.Tasks))
+	merged := model.NewArrangement(int(d.total.Load()))
 	for _, s := range d.shards {
 		s.mu.Lock()
 		for _, p := range s.eng.Arrangement().Pairs {
+			srcTask := s.sub.SourceTask(p.Task)
 			w := s.workers[p.Worker]
-			gt := s.sub.Global[p.Task]
-			acc := src.Model.Predict(w, src.Tasks[gt])
-			merged.Add(w.Index, gt, model.AccStar(acc))
+			acc := src.Model.Predict(w, srcTask)
+			merged.Add(w.Index, srcTask.ID, model.AccStar(acc))
 		}
 		s.mu.Unlock()
 	}

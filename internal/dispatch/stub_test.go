@@ -1,0 +1,44 @@
+package dispatch
+
+import (
+	"errors"
+	"testing"
+
+	"ltc/internal/core"
+	"ltc/internal/model"
+)
+
+// staticSolver is an Online solver without TaskLifecycle support — the
+// probe for the dispatcher's lifecycle-capability error paths.
+type staticSolver struct{}
+
+func (s *staticSolver) Name() string                       { return "static-stub" }
+func (s *staticSolver) Arrive(model.Worker) []model.TaskID { return nil }
+func (s *staticSolver) Done() bool                         { return false }
+
+// TestDispatcherRejectsLifecycleOnStaticSolver: posting or retiring against
+// a solver that cannot handle dynamic tasks must fail cleanly (check-ins
+// keep working).
+func TestDispatcherRejectsLifecycleOnStaticSolver(t *testing.T) {
+	in := lifecycleInstance(8, 10, 60, 41)
+	d, err := New(in, 2, func(in *model.Instance, ci *model.CandidateIndex) core.Online {
+		return &staticSolver{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PostTask(model.Task{Loc: in.Tasks[0].Loc}); !errors.Is(err, core.ErrNoLifecycle) {
+		t.Fatalf("PostTask err = %v, want ErrNoLifecycle", err)
+	}
+	// The failed post must roll back fully: the next attempt fails with the
+	// same honest error, not a dense-ID desync.
+	if _, err := d.PostTask(model.Task{Loc: in.Tasks[0].Loc}); !errors.Is(err, core.ErrNoLifecycle) {
+		t.Fatalf("second PostTask err = %v, want ErrNoLifecycle", err)
+	}
+	if err := d.RetireTask(0); !errors.Is(err, core.ErrNoLifecycle) {
+		t.Fatalf("RetireTask err = %v, want ErrNoLifecycle", err)
+	}
+	if _, err := d.CheckIn(in.Workers[0]); err != nil {
+		t.Fatalf("CheckIn after failed lifecycle ops: %v", err)
+	}
+}

@@ -26,6 +26,15 @@ func NewArrangement(nTasks int) *Arrangement {
 	return &Arrangement{Accumulated: make([]float64, nTasks)}
 }
 
+// EnsureTasks grows the per-task credit table to cover n tasks, so
+// arrangements can follow an instance whose task set grows online. Shrinking
+// never happens (the dense TaskID space only extends).
+func (a *Arrangement) EnsureTasks(n int) {
+	for len(a.Accumulated) < n {
+		a.Accumulated = append(a.Accumulated, 0)
+	}
+}
+
 // Add appends the assignment (worker w performs task t with credit accStar).
 func (a *Arrangement) Add(worker int, t TaskID, accStar float64) {
 	a.Pairs = append(a.Pairs, Assignment{Worker: worker, Task: t})

@@ -1,8 +1,11 @@
 package model
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"ltc/internal/geo"
 )
@@ -20,55 +23,229 @@ type Candidate struct {
 // eligibility by distance (RadiusBounder), candidates come from a uniform
 // grid over task locations; otherwise every task is checked.
 //
-// The index is read-only after construction and safe for concurrent use:
-// one index can serve Candidates queries from many goroutines at once
-// (callers still own their dst buffers). Query scratch space comes from a
-// pool, so the steady-state query path stays allocation-free.
+// The index supports online task lifecycle: Insert adds a task's grid cells
+// and Remove drops them, both incrementally (no full rebuild). Readers and
+// writers may run concurrently: the query path is lock-free — Candidates
+// loads an immutable snapshot with one atomic read and never blocks, even
+// while Insert/Remove (serialized among themselves by a mutex) publish the
+// next snapshot. Query scratch space comes from a pool, so the steady-state
+// query path stays allocation-free.
 type CandidateIndex struct {
 	in     *Instance
-	grid   *geo.GridIndex
 	radius float64 // +Inf when the model gives no bound
+
+	mu   sync.Mutex // serializes Insert/Remove
+	snap atomic.Pointer[indexSnapshot]
+}
+
+// indexSnapshot is one immutable published state of the index: the dense
+// task slice (retired tasks keep their slot), the liveness mask, and — when
+// the eligibility radius is bounded — the cell grid. Writers share untouched
+// cells between consecutive snapshots; only the task's own cell (and, for
+// Remove, the liveness mask) is copied.
+type indexSnapshot struct {
+	tasks []Task
+	live  []bool
+	nLive int
+	grid  *cellGrid // nil when the radius is unbounded
+}
+
+// cellGrid is the mutable-by-copy counterpart of geo.GridIndex: task ids
+// bucketed into uniform cells over the initial bounding rect. Tasks posted
+// outside the rect clamp into the border cells (queries clamp the same way,
+// and the exact distance check filters, so correctness is unaffected).
+type cellGrid struct {
+	origin     geo.Point
+	cellSize   float64
+	cols, rows int
+	cells      [][]int32
 }
 
 // idBufPool recycles the grid-query scratch buffers of Candidates. A pool
-// (rather than a per-index buffer) keeps CandidateIndex itself immutable, so
-// a single index can be hammered from many goroutines.
+// (rather than a per-index buffer) keeps query state off the index, so a
+// single index can be hammered from many goroutines.
 var idBufPool = sync.Pool{New: func() any { return new([]int32) }}
 
-// NewCandidateIndex builds the candidate index for an instance.
+// Lifecycle errors returned by Insert and Remove.
+var (
+	ErrTaskIDNotDense = errors.New("model: inserted task ID must extend the dense ID space")
+	ErrUnknownTask    = errors.New("model: unknown task ID")
+)
+
+// NewCandidateIndex builds the candidate index for an instance. The initial
+// task set is copied, so later Inserts never alias the instance's slice.
 func NewCandidateIndex(in *Instance) *CandidateIndex {
 	ci := &CandidateIndex{in: in, radius: math.Inf(1)}
 	if rb, ok := in.Model.(RadiusBounder); ok {
 		ci.radius = rb.EligibilityRadius(in.MinAcc)
 	}
+	snap := &indexSnapshot{
+		tasks: append([]Task(nil), in.Tasks...),
+		live:  make([]bool, len(in.Tasks)),
+		nLive: len(in.Tasks),
+	}
+	for i := range snap.live {
+		snap.live[i] = true
+	}
 	if !math.IsInf(ci.radius, 1) {
-		pts := make([]geo.Point, len(in.Tasks))
-		for i, t := range in.Tasks {
-			pts[i] = t.Loc
-		}
 		cell := ci.radius
 		if cell <= 0 {
 			cell = 1
 		}
-		ci.grid = geo.NewGridIndex(pts, cell)
+		snap.grid = newCellGrid(snap.tasks, cell)
 	}
+	ci.snap.Store(snap)
 	return ci
+}
+
+// newCellGrid buckets the tasks into uniform cells of the given size over
+// their bounding rect (mirroring geo.NewGridIndex's extent choice).
+func newCellGrid(tasks []Task, cellSize float64) *cellGrid {
+	g := &cellGrid{cellSize: cellSize, cols: 1, rows: 1}
+	if len(tasks) > 0 {
+		pts := make([]geo.Point, len(tasks))
+		for i, t := range tasks {
+			pts[i] = t.Loc
+		}
+		rect, _ := geo.BoundingRect(pts)
+		g.origin = rect.Min
+		g.cols = int(math.Floor(rect.Width()/cellSize)) + 1
+		g.rows = int(math.Floor(rect.Height()/cellSize)) + 1
+	}
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, t := range tasks {
+		c := g.cellIndex(t.Loc)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+func (g *cellGrid) cellIndex(p geo.Point) int {
+	cx := int(math.Floor((p.X - g.origin.X) / g.cellSize))
+	cy := int(math.Floor((p.Y - g.origin.Y) / g.cellSize))
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// withCell returns a copy of the grid whose outer cell table is fresh (so
+// the previous snapshot keeps its view) but shares every cell slice except
+// the one at index c, which is replaced by ids.
+func (g *cellGrid) withCell(c int, ids []int32) *cellGrid {
+	ng := &cellGrid{
+		origin:   g.origin,
+		cellSize: g.cellSize,
+		cols:     g.cols,
+		rows:     g.rows,
+		cells:    make([][]int32, len(g.cells)),
+	}
+	copy(ng.cells, g.cells)
+	ng.cells[c] = ids
+	return ng
 }
 
 // Radius returns the eligibility radius in effect (+Inf when unbounded).
 func (ci *CandidateIndex) Radius() float64 { return ci.radius }
 
-// Candidates appends to dst every task worker w is eligible for and returns
-// the extended slice. Candidates are ordered by ascending TaskID. It is safe
-// to call concurrently from multiple goroutines on one shared index.
+// NumTasks returns the size of the dense TaskID space: every id in
+// [0, NumTasks) has been inserted at some point (retired ids included).
+func (ci *CandidateIndex) NumTasks() int { return len(ci.snap.Load().tasks) }
+
+// NumLive returns how many tasks are currently live (inserted, not removed).
+func (ci *CandidateIndex) NumLive() int { return ci.snap.Load().nLive }
+
+// Live reports whether the task id is known and not removed.
+func (ci *CandidateIndex) Live(id TaskID) bool {
+	s := ci.snap.Load()
+	return id >= 0 && int(id) < len(s.live) && s.live[id]
+}
+
+// Insert adds a newly posted task to the index. The task's ID must extend
+// the dense ID space (ID == NumTasks()) — the index is the ID authority's
+// mirror, not an allocator. Safe to call concurrently with Candidates;
+// Insert/Remove serialize among themselves.
+func (ci *CandidateIndex) Insert(t Task) error {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	s := ci.snap.Load()
+	if int(t.ID) != len(s.tasks) {
+		return fmt.Errorf("%w: got %d, want %d", ErrTaskIDNotDense, t.ID, len(s.tasks))
+	}
+	ns := &indexSnapshot{
+		// Appending at the dense frontier never rewrites an index a published
+		// snapshot can reach, so sharing the backing array with the previous
+		// snapshot is safe (writes land strictly beyond its length).
+		tasks: append(s.tasks, t),
+		live:  append(s.live, true),
+		nLive: s.nLive + 1,
+		grid:  s.grid,
+	}
+	if s.grid != nil {
+		c := s.grid.cellIndex(t.Loc)
+		ids := append(s.grid.cells[c][:len(s.grid.cells[c]):len(s.grid.cells[c])], int32(t.ID))
+		ns.grid = s.grid.withCell(c, ids)
+	}
+	ci.snap.Store(ns)
+	return nil
+}
+
+// Remove drops a task from the index: its grid cell no longer lists it and
+// it stops appearing in Candidates. The id stays allocated (dense space
+// never shrinks). Removing an unknown or already-removed id is an error.
+func (ci *CandidateIndex) Remove(id TaskID) error {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	s := ci.snap.Load()
+	if id < 0 || int(id) >= len(s.tasks) || !s.live[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	live := append([]bool(nil), s.live...)
+	live[id] = false
+	ns := &indexSnapshot{tasks: s.tasks, live: live, nLive: s.nLive - 1, grid: s.grid}
+	if s.grid != nil {
+		c := s.grid.cellIndex(s.tasks[id].Loc)
+		old := s.grid.cells[c]
+		ids := make([]int32, 0, len(old)-1)
+		for _, x := range old {
+			if x != int32(id) {
+				ids = append(ids, x)
+			}
+		}
+		ns.grid = s.grid.withCell(c, ids)
+	}
+	ci.snap.Store(ns)
+	return nil
+}
+
+// Candidates appends to dst every live task worker w is eligible for and
+// returns the extended slice. Candidates are ordered by ascending TaskID.
+// It is safe to call concurrently from multiple goroutines on one shared
+// index, including while Insert/Remove run: each query sees one consistent
+// snapshot.
 func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
-	if ci.grid != nil {
+	return ci.candidatesFrom(ci.snap.Load(), w, dst)
+}
+
+// candidatesFrom answers one query against a fixed snapshot. The bulk
+// helpers (EligibleWorkerLists, MaxPossibleCredit, CheckFeasible) capture a
+// single snapshot for their whole scan, so their task-indexed outputs stay
+// in bounds even while Insert/Remove publish new snapshots concurrently.
+func (ci *CandidateIndex) candidatesFrom(s *indexSnapshot, w Worker, dst []Candidate) []Candidate {
+	if s.grid != nil {
 		bufp := idBufPool.Get().(*[]int32)
-		ids := ci.grid.Within(w.Loc, ci.radius, (*bufp)[:0])
+		ids := s.grid.within(w.Loc, ci.radius, s.tasks, (*bufp)[:0])
 		// Grid results are grouped by cell; sort by id for determinism.
 		sortInt32(ids)
 		for _, id := range ids {
-			t := ci.in.Tasks[id]
+			t := s.tasks[id]
 			if acc, ok := ci.in.Eligible(w, t); ok {
 				dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
 			}
@@ -77,7 +254,10 @@ func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
 		idBufPool.Put(bufp)
 		return dst
 	}
-	for _, t := range ci.in.Tasks {
+	for id, t := range s.tasks {
+		if !s.live[id] {
+			continue
+		}
 		if acc, ok := ci.in.Eligible(w, t); ok {
 			dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
 		}
@@ -85,14 +265,53 @@ func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
 	return dst
 }
 
-// EligibleWorkerLists returns, for every task, the ascending arrival indices
-// of all workers eligible for it. Offline algorithms (Base-off) use this to
-// reason about future supply. Cost: one Candidates call per worker.
+// within appends the ids of all indexed tasks at Euclidean distance ≤ radius
+// from q (mirroring geo.GridIndex.Within's cell walk).
+func (g *cellGrid) within(q geo.Point, radius float64, tasks []Task, dst []int32) []int32 {
+	r2 := radius * radius
+	// Clamp every bound into the cell range (not just toward it): tasks
+	// posted outside the initial rect live clamped in the border cells, so a
+	// query beyond the border must still scan its nearest border cells — the
+	// exact distance check filters false positives.
+	minCX := clampCell(int(math.Floor((q.X-radius-g.origin.X)/g.cellSize)), g.cols)
+	maxCX := clampCell(int(math.Floor((q.X+radius-g.origin.X)/g.cellSize)), g.cols)
+	minCY := clampCell(int(math.Floor((q.Y-radius-g.origin.Y)/g.cellSize)), g.rows)
+	maxCY := clampCell(int(math.Floor((q.Y+radius-g.origin.Y)/g.cellSize)), g.rows)
+	for cy := minCY; cy <= maxCY; cy++ {
+		rowBase := cy * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[rowBase+cx] {
+				if tasks[id].Loc.Dist2(q) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// clampCell clamps a cell coordinate into [0, n).
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// EligibleWorkerLists returns, for every task (dense ID space, removed tasks
+// get empty lists), the ascending arrival indices of all workers eligible
+// for it. Offline algorithms (Base-off) use this to reason about future
+// supply. Cost: one Candidates call per worker. The whole scan sees one
+// snapshot of the task set.
 func (ci *CandidateIndex) EligibleWorkerLists() [][]int32 {
-	lists := make([][]int32, len(ci.in.Tasks))
+	s := ci.snap.Load()
+	lists := make([][]int32, len(s.tasks))
 	var buf []Candidate
 	for _, w := range ci.in.Workers {
-		buf = ci.Candidates(w, buf[:0])
+		buf = ci.candidatesFrom(s, w, buf[:0])
 		for _, c := range buf {
 			lists[c.Task] = append(lists[c.Task], int32(w.Index))
 		}
@@ -100,15 +319,20 @@ func (ci *CandidateIndex) EligibleWorkerLists() [][]int32 {
 	return lists
 }
 
-// MaxPossibleCredit returns, for every task, the total Acc* credit available
-// from all workers (each contributing at most once, ignoring capacity). A
-// task whose total is below δ can never complete: used for feasibility
-// checks.
+// MaxPossibleCredit returns, for every task (dense ID space, removed tasks
+// get 0), the total Acc* credit available from all workers (each
+// contributing at most once, ignoring capacity). A task whose total is
+// below δ can never complete: used for feasibility checks. The whole scan
+// sees one snapshot of the task set.
 func (ci *CandidateIndex) MaxPossibleCredit() []float64 {
-	total := make([]float64, len(ci.in.Tasks))
+	return ci.maxPossibleCreditFrom(ci.snap.Load())
+}
+
+func (ci *CandidateIndex) maxPossibleCreditFrom(s *indexSnapshot) []float64 {
+	total := make([]float64, len(s.tasks))
 	var buf []Candidate
 	for _, w := range ci.in.Workers {
-		buf = ci.Candidates(w, buf[:0])
+		buf = ci.candidatesFrom(s, w, buf[:0])
 		for _, c := range buf {
 			total[c.Task] += c.AccStar
 		}
@@ -116,12 +340,17 @@ func (ci *CandidateIndex) MaxPossibleCredit() []float64 {
 	return total
 }
 
-// CheckFeasible returns ErrInfeasible when some task cannot reach δ even if
-// every eligible worker performs it (capacity ignored — a necessary
-// condition only, but it catches the common generator mistakes).
+// CheckFeasible returns ErrInfeasible when some live task cannot reach δ
+// even if every eligible worker performs it (capacity ignored — a necessary
+// condition only, but it catches the common generator mistakes). The check
+// sees one snapshot of the task set.
 func (ci *CandidateIndex) CheckFeasible() error {
+	s := ci.snap.Load()
 	delta := ci.in.Delta()
-	for _, total := range ci.MaxPossibleCredit() {
+	for id, total := range ci.maxPossibleCreditFrom(s) {
+		if !s.live[id] {
+			continue
+		}
 		if !Completed(total, delta) {
 			return ErrInfeasible
 		}

@@ -1,0 +1,284 @@
+package model
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"ltc/internal/geo"
+)
+
+// bruteCandidates is the oracle: scan every live task, predict, filter by
+// MinAcc — exactly what CandidateIndex promises, minus the grid.
+func bruteCandidates(in *Instance, tasks []Task, live []bool, w Worker) []Candidate {
+	var out []Candidate
+	for id, t := range tasks {
+		if !live[id] {
+			continue
+		}
+		if acc, ok := in.Eligible(w, t); ok {
+			out = append(out, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
+		}
+	}
+	return out
+}
+
+// checkAgainstBrute compares the index's answer for every probe worker with
+// the brute-force scan, element by element (order and float bits included).
+func checkAgainstBrute(t *testing.T, ci *CandidateIndex, in *Instance, tasks []Task, live []bool, probes []Worker) {
+	t.Helper()
+	var buf []Candidate
+	for _, w := range probes {
+		buf = ci.Candidates(w, buf[:0])
+		want := bruteCandidates(in, tasks, live, w)
+		if len(buf) != len(want) {
+			t.Fatalf("worker %d: %d candidates, brute force %d", w.Index, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("worker %d candidate %d: got %+v, want %+v", w.Index, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// runLifecycleScript drives one deterministic interleaving of insert/remove
+// against the index and the shadow task list, probing after every step.
+// width is the spatial extent; some posted tasks deliberately land outside
+// it (the clamped-border-cell path).
+func runLifecycleScript(t *testing.T, in *Instance, seed uint64, steps int, width float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	ci := NewCandidateIndex(in)
+	tasks := append([]Task(nil), in.Tasks...)
+	live := make([]bool, len(tasks))
+	for i := range live {
+		live[i] = true
+	}
+	probes := make([]Worker, 12)
+	for i := range probes {
+		probes[i] = Worker{
+			Index: i + 1,
+			Loc:   geo.Point{X: rng.Float64()*width*1.4 - 0.2*width, Y: rng.Float64()*width*1.4 - 0.2*width},
+			Acc:   0.7 + rng.Float64()*0.3,
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.IntN(3); {
+		case op == 0 || ci.NumLive() == 0: // insert
+			loc := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * width}
+			if rng.IntN(8) == 0 { // outside the initial bounding rect
+				loc = geo.Point{X: width + rng.Float64()*width, Y: -rng.Float64() * width}
+			}
+			nt := Task{ID: TaskID(len(tasks)), Loc: loc}
+			if err := ci.Insert(nt); err != nil {
+				t.Fatalf("step %d: Insert: %v", step, err)
+			}
+			tasks = append(tasks, nt)
+			live = append(live, true)
+		case op == 1: // remove a random live task
+			id := TaskID(rng.IntN(len(tasks)))
+			if !live[id] {
+				if err := ci.Remove(id); err == nil {
+					t.Fatalf("step %d: double Remove(%d) accepted", step, id)
+				}
+				continue
+			}
+			if err := ci.Remove(id); err != nil {
+				t.Fatalf("step %d: Remove(%d): %v", step, id, err)
+			}
+			live[id] = false
+		default: // probe-only step
+		}
+		if ci.NumTasks() != len(tasks) {
+			t.Fatalf("step %d: NumTasks %d, want %d", step, ci.NumTasks(), len(tasks))
+		}
+		checkAgainstBrute(t, ci, in, tasks, live, probes)
+	}
+}
+
+// TestCandidateIndexLifecycleProperty: under bounded random interleavings
+// of insert/remove, queries always equal a brute-force distance scan —
+// for the grid path (SigmoidDistance bounds the radius) and the unbounded
+// path (HistoricalOnly has no radius).
+func TestCandidateIndexLifecycleProperty(t *testing.T) {
+	const width = 120.0
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		nTasks := 1 + rng.IntN(40)
+		gridIn := &Instance{Epsilon: 0.1, K: 4, Model: SigmoidDistance{DMax: 30}, MinAcc: 0.5}
+		flatIn := &Instance{Epsilon: 0.1, K: 4, Model: HistoricalOnly{}, MinAcc: 0.8}
+		for i := 0; i < nTasks; i++ {
+			loc := geo.Point{X: rng.Float64() * width, Y: rng.Float64() * width}
+			gridIn.Tasks = append(gridIn.Tasks, Task{ID: TaskID(i), Loc: loc})
+			flatIn.Tasks = append(flatIn.Tasks, Task{ID: TaskID(i), Loc: loc})
+		}
+		runLifecycleScript(t, gridIn, seed*31+1, 60, width)
+		runLifecycleScript(t, flatIn, seed*31+2, 60, width)
+	}
+}
+
+// TestCandidateIndexLifecycleConcurrent: queries race Insert/Remove under
+// -race. Readers can't assert exact answers mid-mutation, but every answer
+// must be internally consistent: candidates strictly ascending, all
+// eligible, no candidate from before the dense ID frontier the snapshot
+// knows. A final quiescent check must match brute force exactly.
+func TestCandidateIndexLifecycleConcurrent(t *testing.T) {
+	const width = 100.0
+	rng := rand.New(rand.NewPCG(17, 23))
+	in := &Instance{Epsilon: 0.1, K: 4, Model: SigmoidDistance{DMax: 30}, MinAcc: 0.5}
+	for i := 0; i < 50; i++ {
+		in.Tasks = append(in.Tasks, Task{ID: TaskID(i), Loc: geo.Point{X: rng.Float64() * width, Y: rng.Float64() * width}})
+	}
+	for w := 1; w <= 30; w++ {
+		in.Workers = append(in.Workers, Worker{
+			Index: w,
+			Loc:   geo.Point{X: rng.Float64() * width, Y: rng.Float64() * width},
+			Acc:   0.8 + rng.Float64()*0.2,
+		})
+	}
+	ci := NewCandidateIndex(in)
+
+	var mu sync.Mutex // guards the shadow state (writer-side only)
+	tasks := append([]Task(nil), in.Tasks...)
+	live := make([]bool, len(tasks))
+	for i := range live {
+		live[i] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewPCG(uint64(g), 7))
+			var buf []Candidate
+			for i := 0; i < 4000; i++ {
+				w := Worker{Index: 1, Loc: geo.Point{X: qrng.Float64() * width, Y: qrng.Float64() * width}, Acc: 0.9}
+				buf = ci.Candidates(w, buf[:0])
+				for j, c := range buf {
+					if j > 0 && buf[j-1].Task >= c.Task {
+						t.Errorf("candidates not strictly ascending: %d then %d", buf[j-1].Task, c.Task)
+						return
+					}
+					if c.Acc < in.MinAcc {
+						t.Errorf("ineligible candidate %d (acc %v)", c.Task, c.Acc)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	initialTasks := len(in.Tasks)
+	wg.Add(1)
+	go func() { // bulk helpers: each scan sees one snapshot, so task-indexed
+		// outputs stay in bounds mid-churn (this used to panic). Separate
+		// calls may see different snapshots, so only per-call consistency
+		// and the grow-only dense space are assertable.
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if lists := ci.EligibleWorkerLists(); len(lists) < initialTasks {
+				t.Errorf("EligibleWorkerLists shrank below the initial %d tasks: %d", initialTasks, len(lists))
+				return
+			}
+			if credit := ci.MaxPossibleCredit(); len(credit) < initialTasks {
+				t.Errorf("MaxPossibleCredit shrank below the initial %d tasks: %d", initialTasks, len(credit))
+				return
+			}
+			_ = ci.CheckFeasible() // may legitimately flag scarce tasks; must not panic
+		}
+	}()
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(stop)
+		wrng := rand.New(rand.NewPCG(5, 11))
+		for i := 0; i < 400; i++ {
+			mu.Lock()
+			if wrng.IntN(2) == 0 {
+				nt := Task{ID: TaskID(len(tasks)), Loc: geo.Point{X: wrng.Float64() * width, Y: wrng.Float64() * width}}
+				if err := ci.Insert(nt); err != nil {
+					t.Errorf("Insert: %v", err)
+					mu.Unlock()
+					return
+				}
+				tasks = append(tasks, nt)
+				live = append(live, true)
+			} else {
+				id := TaskID(wrng.IntN(len(tasks)))
+				if live[id] {
+					if err := ci.Remove(id); err != nil {
+						t.Errorf("Remove: %v", err)
+						mu.Unlock()
+						return
+					}
+					live[id] = false
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	<-stop
+
+	probes := make([]Worker, 20)
+	prng := rand.New(rand.NewPCG(3, 1))
+	for i := range probes {
+		probes[i] = Worker{Index: i + 1, Loc: geo.Point{X: prng.Float64() * width, Y: prng.Float64() * width}, Acc: 0.85}
+	}
+	checkAgainstBrute(t, ci, in, tasks, live, probes)
+}
+
+// FuzzCandidateIndexLifecycle feeds arbitrary op scripts (bytes → insert /
+// remove / probe) to the index and cross-checks against brute force. The
+// bounded corpus runs under plain `go test`; run `go test -fuzz
+// FuzzCandidateIndexLifecycle ./internal/model` for an open-ended hunt.
+func FuzzCandidateIndexLifecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint64(1))
+	f.Add([]byte{10, 200, 30, 40, 250, 60, 70, 80}, uint64(42))
+	f.Add([]byte{255, 0, 255, 0, 255, 0}, uint64(7))
+	f.Fuzz(func(t *testing.T, script []byte, seed uint64) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		const width = 80.0
+		rng := rand.New(rand.NewPCG(seed, seed^0x5555))
+		in := &Instance{Epsilon: 0.1, K: 4, Model: SigmoidDistance{DMax: 30}, MinAcc: 0.5}
+		n := 1 + int(seed%16)
+		for i := 0; i < n; i++ {
+			in.Tasks = append(in.Tasks, Task{ID: TaskID(i), Loc: geo.Point{X: rng.Float64() * width, Y: rng.Float64() * width}})
+		}
+		ci := NewCandidateIndex(in)
+		tasks := append([]Task(nil), in.Tasks...)
+		live := make([]bool, len(tasks))
+		for i := range live {
+			live[i] = true
+		}
+		probe := Worker{Index: 1, Loc: geo.Point{X: width / 2, Y: width / 2}, Acc: 0.9}
+		for _, b := range script {
+			switch b % 3 {
+			case 0:
+				nt := Task{ID: TaskID(len(tasks)), Loc: geo.Point{
+					X: float64(b)*width/128 - width/4, Y: rng.Float64() * width}}
+				if err := ci.Insert(nt); err != nil {
+					t.Fatalf("Insert: %v", err)
+				}
+				tasks = append(tasks, nt)
+				live = append(live, true)
+			case 1:
+				id := TaskID(int(b) % len(tasks))
+				if live[id] {
+					if err := ci.Remove(id); err != nil {
+						t.Fatalf("Remove: %v", err)
+					}
+					live[id] = false
+				}
+			default:
+				probe.Loc = geo.Point{X: float64(b) * width / 255, Y: float64(255-b) * width / 255}
+			}
+			checkAgainstBrute(t, ci, in, tasks, live, []Worker{probe})
+		}
+	})
+}

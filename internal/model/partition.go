@@ -17,23 +17,62 @@ import (
 // the source's so that Predict always sees the *source* task (global ID):
 // ID-sensitive models like MatrixAccuracy stay correct even though the
 // sub-instance renumbers tasks locally.
+//
+// A SubInstance can grow after construction via AppendTask (online task
+// posting). Growth is not synchronized here — the dispatch layer serializes
+// it under the owning shard's mutex, together with every read of the shard's
+// task slices.
 type SubInstance struct {
 	In *Instance
 	// Global maps a local TaskID (position in In.Tasks) to the task's
 	// stable global ID in the source instance.
 	Global []TaskID
+	// source holds, per local task, the task as the source instance sees it
+	// (global ID + location) — the view ID-sensitive accuracy models need.
+	// For tasks posted after partitioning this is the posted task itself.
+	source []Task
+}
+
+// AppendTask grows the sub-instance with a task posted online: global is the
+// task as the platform sees it (stable global ID). The returned task carries
+// the shard-local ID. Callers must serialize AppendTask with every other
+// access to the sub-instance (the dispatch layer holds the shard mutex).
+func (s *SubInstance) AppendTask(global Task) Task {
+	local := Task{ID: TaskID(len(s.In.Tasks)), Loc: global.Loc}
+	s.In.Tasks = append(s.In.Tasks, local)
+	s.Global = append(s.Global, global.ID)
+	s.source = append(s.source, global)
+	return local
+}
+
+// SourceTask returns the source-instance view (global ID + location) of the
+// given local task.
+func (s *SubInstance) SourceTask(local TaskID) Task { return s.source[local] }
+
+// TruncateLast rolls back the most recent AppendTask — the dispatch layer's
+// recovery when its engine rejects a post (solver without lifecycle
+// support). Same serialization requirements as AppendTask.
+func (s *SubInstance) TruncateLast() {
+	n := len(s.In.Tasks) - 1
+	s.In.Tasks = s.In.Tasks[:n]
+	s.Global = s.Global[:n]
+	s.source = s.source[:n]
 }
 
 // Partition splits an Instance's task set into spatially coherent shards,
 // reusing the uniform-grid idea of internal/geo: the task bounding rect is
 // tiled into ~n cells (cols × rows), each non-empty tile becomes one shard,
-// and Locate routes an arbitrary location (a worker check-in) to its shard.
+// and Locate routes an arbitrary location (a worker check-in or a task
+// posted online) to its shard.
 //
-// A Partition is immutable after construction and safe for concurrent
-// Locate calls — it is the routing table of the sharded dispatch layer.
+// The routing table is built from the initial task set and immutable after
+// construction — safe for concurrent Locate calls. Tasks posted later do not
+// change routing: they are owned by the shard Locate picks for their
+// location, which is by construction the same shard every worker at that
+// location routes to (so late-posted tasks are always reachable).
 type Partition struct {
 	Source *Instance
-	Shards []SubInstance
+	Shards []*SubInstance
 
 	origin     geo.Point
 	tileW      float64
@@ -41,7 +80,7 @@ type Partition struct {
 	cols, rows int
 	// tileShard maps a tile index to its shard, -1 for task-free tiles.
 	tileShard []int32
-	// taskShard maps a global TaskID to its shard.
+	// taskShard maps an initial global TaskID to its shard.
 	taskShard []int32
 	// taskGrid answers nearest-task queries for locations whose own tile
 	// holds no tasks (routing fallback).
@@ -107,7 +146,7 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 		}
 		shard := int32(len(p.Shards))
 		p.tileShard[c] = shard
-		sub := SubInstance{
+		sub := &SubInstance{
 			In: &Instance{
 				Tasks:   make([]Task, len(ids)),
 				Epsilon: in.Epsilon,
@@ -115,13 +154,15 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 				MinAcc:  in.MinAcc,
 			},
 			Global: make([]TaskID, len(ids)),
+			source: make([]Task, len(ids)),
 		}
 		for local, gid := range ids {
 			sub.In.Tasks[local] = Task{ID: TaskID(local), Loc: in.Tasks[gid].Loc}
 			sub.Global[local] = gid
+			sub.source[local] = in.Tasks[gid]
 			p.taskShard[gid] = shard
 		}
-		sub.In.Model = newShardModel(in, sub.Global)
+		sub.In.Model = newShardModel(in, sub)
 		p.Shards = append(p.Shards, sub)
 	}
 
@@ -136,13 +177,15 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 // shardModel adapts the source accuracy model to a shard's local task
 // numbering: Predict is forwarded with the source task, so models that key
 // off Task.ID (MatrixAccuracy) or any other task identity see global IDs.
+// It reads the sub-instance's growable task table, so tasks appended online
+// resolve too.
 type shardModel struct {
-	src    *Instance
-	global []TaskID
+	src *Instance
+	sub *SubInstance
 }
 
-func newShardModel(src *Instance, global []TaskID) AccuracyModel {
-	m := &shardModel{src: src, global: global}
+func newShardModel(src *Instance, sub *SubInstance) AccuracyModel {
+	m := &shardModel{src: src, sub: sub}
 	if _, ok := src.Model.(RadiusBounder); ok {
 		return &boundedShardModel{shardModel: m}
 	}
@@ -151,7 +194,7 @@ func newShardModel(src *Instance, global []TaskID) AccuracyModel {
 
 // Predict implements AccuracyModel.
 func (m *shardModel) Predict(w Worker, t Task) float64 {
-	return m.src.Model.Predict(w, m.src.Tasks[m.global[t.ID]])
+	return m.src.Model.Predict(w, m.sub.source[t.ID])
 }
 
 // boundedShardModel additionally forwards the eligibility radius, so the
@@ -168,12 +211,13 @@ func (m *boundedShardModel) EligibilityRadius(minAcc float64) float64 {
 // NumShards reports the number of (non-empty) shards.
 func (p *Partition) NumShards() int { return len(p.Shards) }
 
-// TaskShard returns the shard holding the given global task.
+// TaskShard returns the shard holding the given initial global task. Tasks
+// posted after partitioning are tracked by the dispatch layer, not here.
 func (p *Partition) TaskShard(t TaskID) int { return int(p.taskShard[t]) }
 
 // Locate routes a location to a shard: the shard of its enclosing tile, or
-// — when that tile holds no tasks — the shard of the nearest task. Safe for
-// concurrent use.
+// — when that tile holds no tasks — the shard of the nearest initial task.
+// Safe for concurrent use.
 func (p *Partition) Locate(loc geo.Point) int {
 	if s := p.tileShard[p.tileIndex(loc)]; s >= 0 {
 		return int(s)

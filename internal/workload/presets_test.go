@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"ltc/internal/model"
+)
+
+// TestTableIVPresets is the table-driven pin of the paper's synthetic
+// dataset settings (Table IV): every preset constructor must reproduce the
+// published cardinalities and parameter values exactly.
+func TestTableIVPresets(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		numTasks   int
+		numWorkers int
+		k          int
+		epsilon    float64
+		dmax       float64
+		gridW      float64
+		gridH      float64
+		accKind    DistKind
+		accMean    float64
+		accSpread  float64
+	}{
+		{
+			name: "default", cfg: Default(),
+			numTasks: 3000, numWorkers: 40000, k: 6, epsilon: 0.1,
+			dmax: 30, gridW: 1000, gridH: 1000,
+			accKind: DistNormal, accMean: 0.86, accSpread: 0.05,
+		},
+		{
+			name: "scalability-10k", cfg: Scalability(10000),
+			numTasks: 10000, numWorkers: 400000, k: 6, epsilon: 0.1,
+			dmax: 30, gridW: 1000, gridH: 1000,
+			accKind: DistNormal, accMean: 0.86, accSpread: 0.05,
+		},
+		{
+			name: "scalability-100k", cfg: Scalability(100000),
+			numTasks: 100000, numWorkers: 400000, k: 6, epsilon: 0.1,
+			dmax: 30, gridW: 1000, gridH: 1000,
+			accKind: DistNormal, accMean: 0.86, accSpread: 0.05,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.cfg
+			if c.NumTasks != tc.numTasks || c.NumWorkers != tc.numWorkers {
+				t.Errorf("|T|=%d |W|=%d, want %d/%d", c.NumTasks, c.NumWorkers, tc.numTasks, tc.numWorkers)
+			}
+			if c.K != tc.k || c.Epsilon != tc.epsilon || c.DMax != tc.dmax {
+				t.Errorf("K=%d ε=%v dmax=%v, want %d/%v/%v", c.K, c.Epsilon, c.DMax, tc.k, tc.epsilon, tc.dmax)
+			}
+			if c.GridWidth != tc.gridW || c.GridHeight != tc.gridH {
+				t.Errorf("grid %vx%v, want %vx%v", c.GridWidth, c.GridHeight, tc.gridW, tc.gridH)
+			}
+			if c.Accuracy.Kind != tc.accKind || c.Accuracy.Mean != tc.accMean || c.Accuracy.Spread != tc.accSpread {
+				t.Errorf("accuracy %+v, want {%v %v %v}", c.Accuracy, tc.accKind, tc.accMean, tc.accSpread)
+			}
+			if c.MinAcc != DefaultMinAcc {
+				t.Errorf("MinAcc %v, want %v", c.MinAcc, DefaultMinAcc)
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("preset invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestTableIVSweepRanges pins every sweep dimension of Table IV as a table:
+// values, order, and the bold default's membership.
+func TestTableIVSweepRanges(t *testing.T) {
+	cases := []struct {
+		name      string
+		got       []float64
+		want      []float64
+		defaultIn float64
+	}{
+		{"tasks", toF(TaskSweep()), []float64{1000, 2000, 3000, 4000, 5000}, 3000},
+		{"capacity", toF(CapacitySweep()), []float64{4, 5, 6, 7, 8}, 6},
+		{"accuracy-mean", AccuracyMeanSweep(), []float64{0.82, 0.84, 0.86, 0.88, 0.90}, 0.86},
+		{"epsilon", EpsilonSweep(), []float64{0.06, 0.10, 0.14, 0.18, 0.22}, 0.10},
+		{"scalability-tasks", toF(ScalabilityTaskSweep()), []float64{10000, 20000, 30000, 40000, 50000, 100000}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.got) != len(tc.want) {
+				t.Fatalf("sweep %v, want %v", tc.got, tc.want)
+			}
+			seenDefault := tc.defaultIn == 0
+			for i := range tc.want {
+				if tc.got[i] != tc.want[i] {
+					t.Fatalf("sweep[%d] = %v, want %v", i, tc.got[i], tc.want[i])
+				}
+				if tc.got[i] == tc.defaultIn {
+					seenDefault = true
+				}
+			}
+			if !seenDefault {
+				t.Fatalf("bold default %v missing from sweep %v", tc.defaultIn, tc.got)
+			}
+		})
+	}
+}
+
+func toF(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// TestAccuracyTruncationBounds samples both Table IV accuracy distributions
+// across the full sweep of means and checks every draw lands inside the
+// paper's truncation interval [SpamThreshold, 1] — the bound Validate and
+// the spam-filter assumption (§II-A) rely on.
+func TestAccuracyTruncationBounds(t *testing.T) {
+	for _, kind := range []DistKind{DistNormal, DistUniform} {
+		for _, mean := range AccuracyMeanSweep() {
+			kind, mean := kind, mean
+			t.Run(fmt.Sprintf("%v-%v", kind, mean), func(t *testing.T) {
+				c := Default().Scale(0.005) // 15 tasks, 200 workers: fast
+				c.Accuracy = AccuracyDist{Kind: kind, Mean: mean, Spread: 0.05}
+				if kind == DistUniform {
+					c.Accuracy.Spread = UniformSpread
+				}
+				c.Seed = uint64(1000*mean) + uint64(kind)
+				in, err := c.Generate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum float64
+				for _, w := range in.Workers {
+					if w.Acc < model.SpamThreshold || w.Acc > 1 {
+						t.Fatalf("worker %d accuracy %v outside [%v, 1]", w.Index, w.Acc, model.SpamThreshold)
+					}
+					sum += w.Acc
+				}
+				// The sample mean must track the configured mean (loosely:
+				// truncation biases upward near the lower bound).
+				got := sum / float64(len(in.Workers))
+				if got < mean-0.05 || got > mean+0.05 {
+					t.Fatalf("sample mean %v far from configured %v", got, mean)
+				}
+			})
+		}
+	}
+}

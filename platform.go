@@ -14,6 +14,12 @@ import (
 // landing on disjoint shards proceed fully in parallel — the scalable
 // counterpart of the single-threaded Session.
 //
+// The task set is mutable while the platform runs: PostTask adds a task
+// mid-stream (it starts its δ-threshold accumulation from zero at its post
+// index) and RetireTask expires a stale one. Both are safe to call
+// concurrently with CheckIn; see CONCURRENCY.md for shard ownership and the
+// latency accounting of late-posted tasks.
+//
 // With Shards = 1 a Platform fed workers sequentially in arrival order
 // produces exactly the Session's arrangement. With more shards each worker
 // is only considered for its own shard's tasks, which changes (usually
@@ -39,6 +45,10 @@ type PlatformOptions struct {
 // ShardStats is one shard's progress snapshot, re-exported from the
 // dispatch layer.
 type ShardStats = dispatch.ShardStats
+
+// TaskStatus is one task's lifecycle snapshot (post index, last assigned
+// worker, completion/retirement), re-exported from the dispatch layer.
+type TaskStatus = dispatch.TaskStatus
 
 // NewPlatform builds a sharded platform running the given online algorithm
 // in every shard. The instance's Workers slice may be empty — workers are
@@ -86,21 +96,64 @@ func (p *Platform) CheckIn(w Worker) ([]TaskID, error) {
 	return out, nil
 }
 
-// Done reports whether every task has reached the quality threshold.
+// PostTask adds a task to the live platform and returns its global TaskID
+// (dense: initial tasks keep 0..n-1, posted tasks follow in post order).
+// The task is owned by the shard its location routes to — the same shard
+// every worker at that location routes to, so late-posted tasks are always
+// reachable, including in regions that held no initial task. Its post index
+// (the largest worker index seen so far) anchors the relative latency
+// accounting. Only the provided location matters; the ID field of the
+// argument is ignored. Safe to call concurrently with CheckIn.
+func (p *Platform) PostTask(t Task) (TaskID, error) {
+	id, err := p.d.PostTask(t)
+	if err != nil {
+		return 0, fmt.Errorf("ltc: %w", err)
+	}
+	return id, nil
+}
+
+// RetireTask expires the task with the given ID: it stops being assignable
+// and no longer blocks Done. Retiring a completed or already-retired task
+// is a harmless no-op; retiring an unknown ID is an error. Safe to call
+// concurrently with CheckIn.
+func (p *Platform) RetireTask(id TaskID) error {
+	if err := p.d.RetireTask(id); err != nil {
+		return fmt.Errorf("ltc: %w", err)
+	}
+	return nil
+}
+
+// Done reports whether every live task has reached the quality threshold.
+// Retired tasks don't block completion, and a PostTask can revive a done
+// platform.
 func (p *Platform) Done() bool { return p.d.Done() }
 
 // Latency returns the LTC objective so far in global arrival indices: the
 // largest Index among checked-in workers that received an assignment.
 func (p *Platform) Latency() int { return p.d.Latency() }
 
-// WorkersSeen reports how many check-ins have been accepted.
+// RelativeLatency returns the lifecycle-aware objective: the largest
+// (worker index − task post index) over all assignments. Equal to Latency
+// when every task was present from the start; with late posts it measures
+// each task's wait from the moment it entered the system.
+func (p *Platform) RelativeLatency() int { return p.d.RelativeLatency() }
+
+// WorkersSeen reports how many check-ins have been received, including
+// ones bounced with ErrPlatformDone while the platform was momentarily
+// complete — every call with a valid index counts as an arrival.
 func (p *Platform) WorkersSeen() int { return p.d.Arrived() }
 
 // Shards reports the effective shard count.
 func (p *Platform) Shards() int { return p.d.NumShards() }
 
-// Progress returns the number of completed tasks and the task total.
-func (p *Platform) Progress() (completed, total int) { return p.d.Progress() }
+// Progress returns the number of resolved tasks (reached δ, or retired
+// before reaching it) and the task total over every task ever posted.
+func (p *Platform) Progress() (resolved, total int) { return p.d.Progress() }
+
+// TaskStatuses snapshots every task ever posted, in TaskID order: post
+// index, last assigned worker (the task's absolute latency once completed),
+// completion and retirement flags.
+func (p *Platform) TaskStatuses() []TaskStatus { return p.d.TaskStatuses() }
 
 // ShardStats snapshots per-shard progress: task counts, completion, routed
 // and offered workers, and the shard's latency in global arrival indices

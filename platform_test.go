@@ -245,6 +245,128 @@ func TestPlatformCheckInErrors(t *testing.T) {
 	}
 }
 
+// TestPlatformTaskLifecycle drives the public dynamic-task API end to end:
+// post mid-stream, complete, retire, and read back per-task status with
+// absolute and relative latency.
+func TestPlatformTaskLifecycle(t *testing.T) {
+	in := tinyInstance(t)
+	plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const postAt = 25
+	for _, w := range in.Workers[:postAt] {
+		if _, err := plat.CheckIn(w); err != nil && !errors.Is(err, ErrPlatformDone) {
+			t.Fatal(err)
+		}
+	}
+	// Post at a location drawn from the task cloud, so it is completable.
+	id, err := plat.PostTask(Task{Loc: in.Tasks[0].Loc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != len(in.Tasks) {
+		t.Fatalf("posted ID %d, want %d", id, len(in.Tasks))
+	}
+	for _, w := range in.Workers[postAt:] {
+		if plat.Done() {
+			break
+		}
+		if _, err := plat.CheckIn(w); err != nil && !errors.Is(err, ErrPlatformDone) {
+			t.Fatal(err)
+		}
+	}
+	if !plat.Done() {
+		t.Fatal("platform incomplete after full stream")
+	}
+	st := plat.TaskStatuses()
+	if len(st) != len(in.Tasks)+1 {
+		t.Fatalf("%d statuses", len(st))
+	}
+	posted := st[id]
+	if posted.PostIndex != postAt || !posted.Completed || posted.Retired {
+		t.Fatalf("posted status %+v", posted)
+	}
+	if posted.LastUsed <= postAt {
+		t.Fatalf("posted task completed by worker %d, before its post index %d", posted.LastUsed, postAt)
+	}
+	if plat.RelativeLatency() > plat.Latency() {
+		t.Fatalf("relative %d > absolute %d", plat.RelativeLatency(), plat.Latency())
+	}
+	// Retire is idempotent on completed tasks and errors on unknown IDs.
+	if err := plat.RetireTask(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := plat.RetireTask(TaskID(len(st) + 5)); err == nil {
+		t.Fatal("unknown retire accepted")
+	}
+	resolved, total := plat.Progress()
+	if resolved != total || total != len(st) {
+		t.Fatalf("progress %d/%d", resolved, total)
+	}
+}
+
+// TestPlatformChurnReplay replays a generated churn workload (Poisson
+// posts + TTL expiry) through the shared ReplayChurn driver and checks the
+// lifecycle accounting: every task resolves (completed or expired — the
+// TTL contract, including expiries scheduled past the stream's end), and
+// the relative latency never exceeds the absolute one.
+func TestPlatformChurnReplay(t *testing.T) {
+	cfg := DefaultWorkload().Scale(0.01)
+	cc := DefaultChurn(cfg)
+	cc.TTL = 300
+	cw, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late := cw.PostedLate(); late*5 < cw.TotalTasks {
+		t.Fatalf("only %d/%d tasks posted late; churn fixture must exceed 20%%", late, cw.TotalTasks)
+	}
+	rep, err := ReplayChurn(cw, LAF, PlatformOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Statuses) != cw.TotalTasks {
+		t.Fatalf("%d statuses, want %d", len(rep.Statuses), cw.TotalTasks)
+	}
+	if rep.Completed+rep.Expired != cw.TotalTasks {
+		t.Fatalf("completed %d + expired %d ≠ total %d (TTL must resolve everything)",
+			rep.Completed, rep.Expired, cw.TotalTasks)
+	}
+	for _, st := range rep.Statuses {
+		if !st.Completed && !st.Retired {
+			t.Fatalf("task %d neither completed nor expired", st.ID)
+		}
+	}
+	if rep.RelativeLatency > rep.AbsoluteLatency {
+		t.Fatalf("relative %d > absolute %d", rep.RelativeLatency, rep.AbsoluteLatency)
+	}
+}
+
+// TestReplayChurnFiresTrailingExpiries pins the TTL-past-stream case: a TTL
+// longer than the worker stream still resolves every task — the retire
+// events scheduled beyond the last arrival fire after the stream drains.
+func TestReplayChurnFiresTrailingExpiries(t *testing.T) {
+	cfg := DefaultWorkload().Scale(0.01)
+	cfg.NumWorkers = 60 // far too few workers to complete 30 tasks
+	cc := DefaultChurn(cfg)
+	cc.TTL = 1000 // every expiry lands past the 60-worker stream
+	cw, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayChurn(cw, AAM, PlatformOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Expired != cw.TotalTasks {
+		t.Fatalf("completed %d + expired %d ≠ total %d", rep.Completed, rep.Expired, cw.TotalTasks)
+	}
+	if rep.Expired == 0 {
+		t.Fatal("fixture must leave tasks to expire after the stream")
+	}
+}
+
 // TestSessionErrorPaths extends the Session error coverage: out-of-order
 // after progress, repeated indices, and arrival after completion.
 func TestSessionErrorPaths(t *testing.T) {
