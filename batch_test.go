@@ -1,0 +1,187 @@
+package ltc
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// This file is the batched analogue of PR 2's CandidateIndex-vs-brute-force
+// property net: for random instances and batch sizes, 1-shard batched and
+// async ingestion must reproduce the Session replay exactly — the same
+// per-worker assignments, the same arrangement bits, the same latency and
+// task statuses.
+
+// randomBatchWorkload draws a small Table IV-shaped workload with random
+// cardinalities. Instances need not be completable — equivalence must hold
+// for exhausted streams too.
+func randomBatchWorkload(rng *rand.Rand) WorkloadConfig {
+	cfg := DefaultWorkload()
+	cfg.NumTasks = 5 + rng.IntN(60)
+	cfg.NumWorkers = 100 + rng.IntN(900)
+	cfg.K = 1 + rng.IntN(6)
+	cfg.Epsilon = 0.05 + rng.Float64()*0.2
+	cfg.GridWidth = 100 + rng.Float64()*200
+	cfg.GridHeight = 100 + rng.Float64()*200
+	cfg.Seed = rng.Uint64()
+	return cfg
+}
+
+// checkBatchEquivalence replays one instance four ways — Session, per-call
+// 1-shard Platform, CheckInBatch with the given batch size, and
+// CheckInAsync+Flush — and requires bitwise agreement on every observable.
+func checkBatchEquivalence(t *testing.T, in *Instance, algo Algorithm, seed uint64, batch int) {
+	t.Helper()
+	sess, err := NewSession(in, algo, SolveOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlat := func() *Platform {
+		p, err := NewPlatform(in, algo, PlatformOptions{Shards: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	platCall, platBatch, platAsync := newPlat(), newPlat(), newPlat()
+
+	// Session + per-call platform, in lockstep.
+	var sessOut [][]TaskID
+	for _, w := range in.Workers {
+		if sess.Done() {
+			break
+		}
+		st, err := sess.Arrive(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessOut = append(sessOut, append([]TaskID(nil), st...))
+		if _, err := platCall.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Batched replay: chunks of `batch`, stopping at the truncation signal.
+	var batchOut [][]TaskID
+	for i := 0; i < len(in.Workers); i += batch {
+		j := i + batch
+		if j > len(in.Workers) {
+			j = len(in.Workers)
+		}
+		res, err := platBatch.CheckInBatch(in.Workers[i:j])
+		if err != nil && !errors.Is(err, ErrPlatformDone) {
+			t.Fatal(err)
+		}
+		batchOut = append(batchOut, res...)
+		if err != nil {
+			break
+		}
+	}
+	if len(batchOut) != len(sessOut) {
+		t.Fatalf("%s batch=%d: batched fed %d workers, session %d", algo, batch, len(batchOut), len(sessOut))
+	}
+	for i := range sessOut {
+		if len(batchOut[i]) != len(sessOut[i]) {
+			t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, batchOut[i], sessOut[i])
+		}
+		for k := range sessOut[i] {
+			if batchOut[i][k] != sessOut[i][k] {
+				t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, batchOut[i], sessOut[i])
+			}
+		}
+	}
+
+	// Async replay: sequential enqueue, Flush as the completion point.
+	for _, w := range in.Workers {
+		if platAsync.Done() {
+			break
+		}
+		if err := platAsync.CheckInAsync(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	platAsync.Flush()
+	if err := platAsync.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final-state agreement, Session as the reference.
+	sa := sess.Arrangement()
+	for name, plat := range map[string]*Platform{"per-call": platCall, "batched": platBatch, "async": platAsync} {
+		if plat.Done() != sess.Done() {
+			t.Fatalf("%s %s: done %v, session %v", algo, name, plat.Done(), sess.Done())
+		}
+		if plat.Latency() != sess.Latency() {
+			t.Fatalf("%s %s: latency %d, session %d", algo, name, plat.Latency(), sess.Latency())
+		}
+		pa := plat.Arrangement()
+		if len(pa.Pairs) != len(sa.Pairs) {
+			t.Fatalf("%s %s: %d pairs, session %d", algo, name, len(pa.Pairs), len(sa.Pairs))
+		}
+		for i := range sa.Pairs {
+			if pa.Pairs[i] != sa.Pairs[i] {
+				t.Fatalf("%s %s: pair %d = %+v, session %+v", algo, name, i, pa.Pairs[i], sa.Pairs[i])
+			}
+		}
+		sc, pc := sess.Credits(nil), plat.Credits(nil)
+		for i := range sc {
+			if sc[i] != pc[i] {
+				t.Fatalf("%s %s: credit %d drifted", algo, name, i)
+			}
+		}
+	}
+	// TaskStatuses: batched and async against the per-call platform (the
+	// per-call path is itself pinned to Session by the golden traces).
+	want := platCall.TaskStatuses()
+	for name, plat := range map[string]*Platform{"batched": platBatch, "async": platAsync} {
+		got := plat.TaskStatuses()
+		if len(got) != len(want) {
+			t.Fatalf("%s %s: %d statuses, want %d", algo, name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s %s: status %d = %+v, want %+v", algo, name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchEquivalenceFuzz sweeps random instances, algorithms and batch
+// sizes through the equivalence checker.
+func TestBatchEquivalenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 7))
+	algos := []Algorithm{LAF, AAM, RandomAssign}
+	for trial := 0; trial < 12; trial++ {
+		cfg := randomBatchWorkload(rng)
+		in, err := cfg.Generate()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		algo := algos[trial%len(algos)]
+		batch := 1 + rng.IntN(96)
+		seed := rng.Uint64()
+		t.Logf("trial %d: %s, %d tasks, %d workers, K=%d, batch=%d",
+			trial, algo, len(in.Tasks), len(in.Workers), in.K, batch)
+		checkBatchEquivalence(t, in, algo, seed, batch)
+	}
+}
+
+// FuzzBatchIngestionEquivalence exposes the same property to go fuzz:
+// arbitrary generator seeds and batch sizes must never break the
+// Session-vs-batched-vs-async equivalence.
+func FuzzBatchIngestionEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint64(42), uint8(7))
+	f.Add(uint64(99), uint64(3), uint8(1))
+	f.Add(uint64(1234), uint64(77), uint8(255))
+	f.Fuzz(func(t *testing.T, genSeed, algoSeed uint64, rawBatch uint8) {
+		rng := rand.New(rand.NewPCG(genSeed, genSeed^0x9e3779b9))
+		cfg := randomBatchWorkload(rng)
+		in, err := cfg.Generate()
+		if err != nil {
+			t.Skip() // degenerate generator draw
+		}
+		batch := int(rawBatch)%128 + 1
+		algo := []Algorithm{LAF, AAM, RandomAssign}[int(genSeed%3)]
+		checkBatchEquivalence(t, in, algo, algoSeed, batch)
+	})
+}

@@ -285,6 +285,115 @@ func BenchmarkPlatformCheckIn(b *testing.B) {
 	}
 }
 
+// BenchmarkPlatformCheckInBatch measures the synchronous batched ingestion
+// path: feeders claim contiguous chunks of the stream and submit each via
+// CheckInBatch, so consecutive same-shard workers share one lock
+// acquisition and one candidate-index snapshot. Compare against
+// BenchmarkPlatformCheckIn's per-call numbers.
+func BenchmarkPlatformCheckInBatch(b *testing.B) {
+	cfg := DefaultWorkload().Scale(0.05)
+	cfg.Seed = 42
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, batch := range []int{64, 256} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				feeders := runtime.GOMAXPROCS(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				checkins := 0
+				for checkins < b.N {
+					plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: shards})
+					if err != nil {
+						b.Fatal(err)
+					}
+					var cursor, fed atomic.Int64
+					var wg sync.WaitGroup
+					for g := 0; g < feeders; g++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							for {
+								i := int(cursor.Add(int64(batch))) - batch
+								if i >= len(in.Workers) || plat.Done() {
+									return
+								}
+								j := i + batch
+								if j > len(in.Workers) {
+									j = len(in.Workers)
+								}
+								res, err := plat.CheckInBatch(in.Workers[i:j])
+								fed.Add(int64(len(res)))
+								if err != nil {
+									return // truncated: platform completed
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					checkins += int(fed.Load())
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(checkins)/b.Elapsed().Seconds(), "workers/s")
+			})
+		}
+	}
+}
+
+// BenchmarkPlatformCheckInAsync measures the fire-and-forget ingestion
+// path: feeders enqueue workers into the per-shard bounded queues and the
+// shard drainers ingest them in amortized runs; Flush closes each stream.
+func BenchmarkPlatformCheckInAsync(b *testing.B) {
+	cfg := DefaultWorkload().Scale(0.05)
+	cfg.Seed = 42
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			feeders := runtime.GOMAXPROCS(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			checkins := 0
+			for checkins < b.N {
+				plat, err := NewPlatform(in, AAM, PlatformOptions{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cursor, fed atomic.Int64
+				var wg sync.WaitGroup
+				for g := 0; g < feeders; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := int(cursor.Add(1)) - 1
+							if i >= len(in.Workers) || plat.Done() {
+								return
+							}
+							if err := plat.CheckInAsync(in.Workers[i]); err != nil {
+								return
+							}
+							fed.Add(1)
+						}
+					}()
+				}
+				wg.Wait()
+				plat.Flush()
+				if err := plat.Close(); err != nil {
+					b.Fatal(err)
+				}
+				checkins += int(fed.Load())
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(checkins)/b.Elapsed().Seconds(), "workers/s")
+		})
+	}
+}
+
 // BenchmarkSessionArrive measures the streaming API's per-arrival cost.
 func BenchmarkSessionArrive(b *testing.B) {
 	in, ci := benchInstance(b)

@@ -14,6 +14,7 @@
 //	ltcbench -exp table4 -exp-table5
 //	ltcbench -exp fig4-newyork -algos LAF,AAM,Random
 //	ltcbench -exp throughput -shards 1,4,16  # sharded dispatch workers/sec
+//	ltcbench -exp throughput -batch 64,256 -async -json bench.json  # batched/async + artifact
 //	ltcbench -exp churn -churn-initial 0.6 -churn-ttl 400  # online posts + expiry
 package main
 
@@ -43,6 +44,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
 		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput (comma-separated)")
+		batch    = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput (comma-separated)")
+		async    = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput")
+		jsonPath = flag.String("json", "", "write the -exp throughput results as a JSON benchmark artifact to this path ('-' for stdout)")
 
 		churnShards  = flag.Int("churn-shards", 4, "shard count for -exp churn")
 		churnInitial = flag.Float64("churn-initial", 0, "initial task fraction for -exp churn (0 = default 0.6; rest posted online)")
@@ -57,7 +61,7 @@ func main() {
 		}
 		fmt.Println("  table4            print the synthetic dataset settings (Table IV)")
 		fmt.Println("  table5            print the check-in dataset presets (Table V)")
-		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards)")
+		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards, -batch, -async, -json)")
 		fmt.Println("  churn             dynamic task lifecycle: online posts + TTL expiry (-churn-*)")
 		return
 	}
@@ -76,7 +80,7 @@ func main() {
 		if *algos != "" {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
-		if err := runThroughput(*shards, *scale, *seed, algo); err != nil {
+		if err := runThroughput(*shards, *batch, *async, *jsonPath, *scale, *seed, algo); err != nil {
 			log.Fatal(err)
 		}
 		return

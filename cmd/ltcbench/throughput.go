@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -14,12 +15,48 @@ import (
 	"ltc"
 )
 
-// runThroughput measures the sharded dispatch layer's check-in throughput
-// from the CLI: for each requested shard count it feeds the full worker
-// stream to a fresh Platform from GOMAXPROCS goroutines, repeating for at
-// least minDuration, and prints workers/sec alongside the resulting global
-// latency — the quality cost of sharding.
-func runThroughput(shardList string, scale float64, seed uint64, algoName string) error {
+// throughputResult is one measured (mode, shard count, batch size) cell of
+// the benchmark artifact.
+type throughputResult struct {
+	// Mode is "percall" (one CheckIn per worker), "batch" (CheckInBatch
+	// chunks of BatchSize) or "async" (CheckInAsync + Flush).
+	Mode      string `json:"mode"`
+	Shards    int    `json:"shards"`
+	Effective int    `json:"effective_shards"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	// WorkersPerSec is ingested check-ins per wall-clock second — the
+	// headline throughput number.
+	WorkersPerSec float64 `json:"workers_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	// Latency is the global LTC objective of the last completed stream —
+	// the quality side of the throughput trade.
+	Latency int `json:"latency"`
+	Runs    int `json:"runs"`
+}
+
+// throughputArtifact is the machine-readable output of -exp throughput
+// -json: enough context to compare the trajectory across PRs.
+type throughputArtifact struct {
+	Preset     string             `json:"preset"`
+	Algo       string             `json:"algo"`
+	Scale      float64            `json:"scale"`
+	Tasks      int                `json:"tasks"`
+	Workers    int                `json:"workers"`
+	Feeders    int                `json:"feeders"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Results    []throughputResult `json:"results"`
+}
+
+// runThroughput measures the dispatch layer's check-in throughput from the
+// CLI. For each requested shard count it feeds the full worker stream to a
+// fresh Platform from GOMAXPROCS goroutines — per-call, in CheckInBatch
+// chunks (one row per -batch size) and via CheckInAsync (-async) — each
+// repeated for at least minDuration, and prints workers/sec alongside the
+// resulting global latency. With -json the same numbers are written as a
+// machine-readable artifact (see throughputArtifact).
+func runThroughput(shardList, batchList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
 	var shardCounts []int
 	for _, s := range strings.Split(shardList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -27,6 +64,16 @@ func runThroughput(shardList string, scale float64, seed uint64, algoName string
 			return fmt.Errorf("bad -shards entry %q", s)
 		}
 		shardCounts = append(shardCounts, n)
+	}
+	var batchSizes []int
+	if batchList != "" {
+		for _, s := range strings.Split(batchList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -batch entry %q", s)
+			}
+			batchSizes = append(batchSizes, n)
+		}
 	}
 	algo := ltc.Algorithm(algoName)
 	if algoName == "" {
@@ -43,45 +90,154 @@ func runThroughput(shardList string, scale float64, seed uint64, algoName string
 	fmt.Printf("throughput: %s over %d tasks / %d workers, %d feeder goroutines\n\n",
 		algo, len(in.Tasks), len(in.Workers), feeders)
 
-	const minDuration = 500 * time.Millisecond
+	art := throughputArtifact{
+		Preset:     fmt.Sprintf("tableiv-default-x%g", scale),
+		Algo:       string(algo),
+		Scale:      scale,
+		Tasks:      len(in.Tasks),
+		Workers:    len(in.Workers),
+		Feeders:    feeders,
+		GOMAXPROCS: feeders,
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "shards\teffective\tworkers/s\tglobal latency\truns")
+	fmt.Fprintln(w, "mode\tshards\teffective\tbatch\tworkers/s\tns/op\tallocs/op\tglobal latency\truns")
 	for _, n := range shardCounts {
-		var checkins, runs int
-		var latency, effective int
-		start := time.Now()
-		for time.Since(start) < minDuration {
-			plat, err := ltc.NewPlatform(in, algo, ltc.PlatformOptions{Shards: n, Seed: seed})
+		cells := []throughputResult{{Mode: "percall", Shards: n}}
+		for _, b := range batchSizes {
+			cells = append(cells, throughputResult{Mode: "batch", Shards: n, BatchSize: b})
+		}
+		if async {
+			cells = append(cells, throughputResult{Mode: "async", Shards: n})
+		}
+		for _, cell := range cells {
+			res, err := measureThroughput(in, algo, seed, feeders, cell.Mode, cell.Shards, cell.BatchSize)
 			if err != nil {
 				return err
 			}
-			var cursor, fed atomic.Int64
-			var wg sync.WaitGroup
-			for g := 0; g < feeders; g++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= len(in.Workers) || plat.Done() {
-							return
-						}
-						if _, err := plat.CheckIn(in.Workers[i]); err != nil {
-							return // platform completed under contention
-						}
-						fed.Add(1)
-					}
-				}()
+			art.Results = append(art.Results, res)
+			batchCol := "-"
+			if res.BatchSize > 0 {
+				batchCol = strconv.Itoa(res.BatchSize)
 			}
-			wg.Wait()
-			checkins += int(fed.Load())
-			runs++
-			latency = plat.Latency()
-			effective = plat.Shards()
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.1f\t%d\t%d\n",
+				res.Mode, res.Shards, res.Effective, batchCol,
+				res.WorkersPerSec, res.NsPerOp, res.AllocsPerOp, res.Latency, res.Runs)
 		}
-		elapsed := time.Since(start)
-		fmt.Fprintf(w, "%d\t%d\t%.0f\t%d\t%d\n",
-			n, effective, float64(checkins)/elapsed.Seconds(), latency, runs)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote benchmark artifact to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// measureThroughput runs one (mode, shards, batch) cell: fresh platforms
+// are fed the full stream until minDuration elapses, with allocation
+// deltas read around the timed region.
+func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeders int, mode string, shards, batch int) (throughputResult, error) {
+	const minDuration = 500 * time.Millisecond
+	res := throughputResult{Mode: mode, Shards: shards, BatchSize: batch}
+	var checkins int
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for time.Since(start) < minDuration {
+		plat, err := ltc.NewPlatform(in, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		if err != nil {
+			return res, err
+		}
+		fed, err := feedStream(plat, in.Workers, feeders, mode, batch)
+		if err != nil {
+			return res, err
+		}
+		checkins += fed
+		res.Runs++
+		res.Latency = plat.Latency()
+		res.Effective = plat.Shards()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	res.WorkersPerSec = float64(checkins) / elapsed.Seconds()
+	res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(checkins)
+	res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(checkins)
+	res.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(checkins)
+	return res, nil
+}
+
+// feedStream pushes the whole worker stream into the platform from
+// `feeders` goroutines using the selected ingestion mode, returning how
+// many check-ins were ingested.
+func feedStream(plat *ltc.Platform, workers []ltc.Worker, feeders int, mode string, batch int) (int, error) {
+	var cursor, fed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < feeders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch mode {
+			case "percall":
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(workers) || plat.Done() {
+						return
+					}
+					if _, err := plat.CheckIn(workers[i]); err != nil {
+						return // platform completed under contention
+					}
+					fed.Add(1)
+				}
+			case "batch":
+				for {
+					i := int(cursor.Add(int64(batch))) - batch
+					if i >= len(workers) || plat.Done() {
+						return
+					}
+					j := i + batch
+					if j > len(workers) {
+						j = len(workers)
+					}
+					res, err := plat.CheckInBatch(workers[i:j])
+					fed.Add(int64(len(res)))
+					if err != nil {
+						return // truncated: platform completed
+					}
+				}
+			case "async":
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(workers) || plat.Done() {
+						return
+					}
+					if err := plat.CheckInAsync(workers[i]); err != nil {
+						return
+					}
+					fed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if mode == "async" {
+		plat.Flush()
+		if err := plat.Close(); err != nil {
+			return int(fed.Load()), err
+		}
+	}
+	return int(fed.Load()), nil
 }

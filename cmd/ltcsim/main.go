@@ -9,6 +9,8 @@
 //	ltcsim -tasks 100 -workers 2000 -k 4 -epsilon 0.14
 //	ltcsim -city newyork -scale 0.01
 //	ltcsim -shards 8     # also run the online algorithms sharded
+//	ltcsim -shards 8 -batch 64   # ...fed through CheckInBatch
+//	ltcsim -shards 8 -async      # ...fed through CheckInAsync + Flush
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "city trace scale factor")
 		trials  = flag.Int("trials", 200, "voting simulation trials")
 		shards  = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
+		batch   = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
+		async   = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
 		churn   = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
 		ttl     = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
 	)
@@ -77,7 +81,7 @@ func main() {
 	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
 
 	if *shards > 0 {
-		if err := runSharded(in, *shards, *seed); err != nil {
+		if err := runSharded(in, *shards, *seed, *batch, *async); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -133,9 +137,18 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 // runSharded replays the worker stream through the sharded Platform for
 // each online algorithm and reports the global latency next to the
 // unsharded Session's, plus the per-shard worker routing — the latency
-// cost of spatial sharding made visible (see CONCURRENCY.md).
-func runSharded(in *ltc.Instance, shards int, seed uint64) error {
-	fmt.Printf("\nsharded dispatch (%d shards requested):\n", shards)
+// cost of spatial sharding made visible (see CONCURRENCY.md). The stream
+// is fed per-call by default, through CheckInBatch chunks with -batch, or
+// through CheckInAsync + Flush with -async (batched and async ingestion
+// change throughput, never the sequential-feed assignments).
+func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async bool) error {
+	mode := "per-call"
+	if async {
+		mode = "async"
+	} else if batch > 0 {
+		mode = fmt.Sprintf("batch=%d", batch)
+	}
+	fmt.Printf("\nsharded dispatch (%d shards requested, %s ingestion):\n", shards, mode)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tshards\tglobal latency\tunsharded\tper-shard workers")
 	incomplete := false
@@ -151,13 +164,8 @@ func runSharded(in *ltc.Instance, shards int, seed uint64) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
-		for _, worker := range in.Workers {
-			if plat.Done() {
-				break
-			}
-			if _, err := plat.CheckIn(worker); err != nil {
-				return fmt.Errorf("%s: %w", algo, err)
-			}
+		if err := feedPlatform(plat, in.Workers, batch, async); err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
 		}
 		mark := ""
 		if !plat.Done() {
@@ -183,6 +191,49 @@ func runSharded(in *ltc.Instance, shards int, seed uint64) error {
 		fmt.Println("(* run exhausted the worker stream before completing every task)")
 	}
 	return nil
+}
+
+// feedPlatform replays the stream sequentially through the selected
+// ingestion path: per-call CheckIn, CheckInBatch chunks, or CheckInAsync
+// with a final Flush/Close.
+func feedPlatform(plat *ltc.Platform, workers []ltc.Worker, batch int, async bool) error {
+	switch {
+	case async:
+		for _, w := range workers {
+			if plat.Done() {
+				break
+			}
+			if err := plat.CheckInAsync(w); err != nil {
+				return err
+			}
+		}
+		plat.Flush()
+		return plat.Close()
+	case batch > 0:
+		for i := 0; i < len(workers); i += batch {
+			j := i + batch
+			if j > len(workers) {
+				j = len(workers)
+			}
+			if _, err := plat.CheckInBatch(workers[i:j]); err != nil {
+				if errors.Is(err, ltc.ErrPlatformDone) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	default:
+		for _, w := range workers {
+			if plat.Done() {
+				break
+			}
+			if _, err := plat.CheckIn(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // syntheticConfig builds the Table IV-shaped workload for arbitrary

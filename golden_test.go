@@ -2,6 +2,7 @@ package ltc
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,40 @@ var goldenAlgorithms = []Algorithm{LAF, AAM, RandomAssign}
 
 const goldenSeed = 7 // drives RandomAssign
 
+// writeTraceHeader, writeArrivalLine and writeTraceFooter render the
+// canonical trace pieces shared by the per-call and batched replays.
+func writeTraceHeader(b *bytes.Buffer, name string, algo Algorithm, in *Instance) {
+	fmt.Fprintf(b, "# ltc golden trace\n")
+	fmt.Fprintf(b, "workload=%s algo=%s seed=%d\n", name, algo, goldenSeed)
+	fmt.Fprintf(b, "tasks=%d workers=%d k=%d epsilon=%s delta=%s\n",
+		len(in.Tasks), len(in.Workers), in.K,
+		strconv.FormatFloat(in.Epsilon, 'g', -1, 64),
+		strconv.FormatFloat(in.Delta(), 'x', -1, 64))
+}
+
+func writeArrivalLine(b *bytes.Buffer, index int, assigned []TaskID) {
+	fmt.Fprintf(b, "arrival %d:", index)
+	if len(assigned) == 0 {
+		b.WriteString(" -")
+	}
+	for i, t := range assigned {
+		if i > 0 {
+			b.WriteByte(',')
+		} else {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%d", t)
+	}
+	b.WriteByte('\n')
+}
+
+func writeTraceFooter(b *bytes.Buffer, done bool, latency int, credits []float64) {
+	fmt.Fprintf(b, "done=%t latency=%d\n", done, latency)
+	for tid, c := range credits {
+		fmt.Fprintf(b, "credit %d: %s\n", tid, strconv.FormatFloat(c, 'x', -1, 64))
+	}
+}
+
 // renderTrace drives a worker stream through feed and renders the canonical
 // trace text. feed returns the assignments for one worker; done reports
 // completion; credits snapshots accumulated per-task credit.
@@ -63,12 +98,7 @@ func renderTrace(name string, algo Algorithm, in *Instance,
 	credits func() []float64) (string, error) {
 
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "# ltc golden trace\n")
-	fmt.Fprintf(&b, "workload=%s algo=%s seed=%d\n", name, algo, goldenSeed)
-	fmt.Fprintf(&b, "tasks=%d workers=%d k=%d epsilon=%s delta=%s\n",
-		len(in.Tasks), len(in.Workers), in.K,
-		strconv.FormatFloat(in.Epsilon, 'g', -1, 64),
-		strconv.FormatFloat(in.Delta(), 'x', -1, 64))
+	writeTraceHeader(&b, name, algo, in)
 	for _, w := range in.Workers {
 		if done() {
 			break
@@ -77,24 +107,9 @@ func renderTrace(name string, algo Algorithm, in *Instance,
 		if err != nil {
 			return "", fmt.Errorf("worker %d: %w", w.Index, err)
 		}
-		fmt.Fprintf(&b, "arrival %d:", w.Index)
-		if len(assigned) == 0 {
-			b.WriteString(" -")
-		}
-		for i, t := range assigned {
-			if i > 0 {
-				b.WriteByte(',')
-			} else {
-				b.WriteByte(' ')
-			}
-			fmt.Fprintf(&b, "%d", t)
-		}
-		b.WriteByte('\n')
+		writeArrivalLine(&b, w.Index, assigned)
 	}
-	fmt.Fprintf(&b, "done=%t latency=%d\n", done(), latency())
-	for tid, c := range credits() {
-		fmt.Fprintf(&b, "credit %d: %s\n", tid, strconv.FormatFloat(c, 'x', -1, 64))
-	}
+	writeTraceFooter(&b, done(), latency(), credits())
 	return b.String(), nil
 }
 
@@ -129,10 +144,41 @@ func platformTrace(t *testing.T, name string, algo Algorithm, in *Instance) stri
 	return got
 }
 
+// platformBatchTrace replays the stream through a 1-shard Platform in
+// CheckInBatch chunks of the given size. The truncating batch contract
+// (ingestion stops with the worker completing the last task; the tail is
+// unobserved) makes the rendered bytes directly comparable with the
+// per-call Session trace.
+func platformBatchTrace(t *testing.T, name string, algo Algorithm, in *Instance, batch int) string {
+	t.Helper()
+	plat, err := NewPlatform(in, algo, PlatformOptions{Shards: 1, Seed: goldenSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	writeTraceHeader(&b, name, algo, in)
+	for i := 0; i < len(in.Workers) && !plat.Done(); i += batch {
+		j := i + batch
+		if j > len(in.Workers) {
+			j = len(in.Workers)
+		}
+		res, err := plat.CheckInBatch(in.Workers[i:j])
+		if err != nil && !errors.Is(err, ErrPlatformDone) {
+			t.Fatalf("batch at worker %d: %v", i+1, err)
+		}
+		for k, assigned := range res {
+			writeArrivalLine(&b, in.Workers[i+k].Index, assigned)
+		}
+	}
+	writeTraceFooter(&b, plat.Done(), plat.Latency(), plat.Credits(nil))
+	return b.String()
+}
+
 // TestGoldenTraces pins Session behaviour to the recorded fixtures and —
 // the dispatch-layer equivalence contract — requires the 1-shard Platform
 // to reproduce the exact same bytes, including per-task credit bit
-// patterns.
+// patterns, through the per-call path and through CheckInBatch at several
+// batch sizes.
 func TestGoldenTraces(t *testing.T) {
 	for _, gc := range goldenCases() {
 		in, err := gc.cfg().Generate()
@@ -162,6 +208,12 @@ func TestGoldenTraces(t *testing.T) {
 				plat := platformTrace(t, gc.name, algo, in)
 				if !bytes.Equal(want, []byte(plat)) {
 					t.Errorf("1-shard Platform trace diverged from %s\n%s", path, diffHint(want, []byte(plat)))
+				}
+				for _, batch := range []int{1, 7, 64} {
+					got := platformBatchTrace(t, gc.name, algo, in, batch)
+					if !bytes.Equal(want, []byte(got)) {
+						t.Errorf("CheckInBatch(%d) trace diverged from %s\n%s", batch, path, diffHint(want, []byte(got)))
+					}
 				}
 			})
 		}

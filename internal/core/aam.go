@@ -87,7 +87,10 @@ func (a *AAM) Done() bool { return a.state.allDone() }
 func (a *AAM) StrategyCounts() (lgf, lrf int) { return a.lgfArrivals, a.lrfArrivals }
 
 // Arrive implements Online (Algorithm 3 lines 4-15).
-func (a *AAM) Arrive(w model.Worker) []model.TaskID {
+func (a *AAM) Arrive(w model.Worker) []model.TaskID { return a.ArriveVia(w, a.ci) }
+
+// ArriveVia implements BatchOnline: Arrive drawing candidates from src.
+func (a *AAM) ArriveVia(w model.Worker, src model.CandidateSource) []model.TaskID {
 	if a.state.allDone() {
 		return nil
 	}
@@ -108,7 +111,7 @@ func (a *AAM) Arrive(w model.Worker) []model.TaskID {
 		a.lrfArrivals++
 	}
 
-	a.cands = a.ci.Candidates(w, a.cands[:0])
+	a.cands = src.Candidates(w, a.cands[:0])
 	a.topk.Reset()
 	for _, c := range a.cands {
 		if a.state.done(c.Task) {

@@ -43,6 +43,19 @@ type Online interface {
 	Done() bool
 }
 
+// BatchOnline extends Online with an arrival that draws candidates from an
+// explicit source instead of the solver's own index reference. The engine's
+// batch step passes a model.PinnedQuery so a whole run of workers shares
+// one snapshot load and one scratch buffer. ArriveVia must behave exactly
+// like Arrive whenever the source serves the snapshot the solver's own
+// index would — the paper's solvers are pure functions of the candidate
+// list, so LAF, AAM and Random all satisfy this by construction.
+type BatchOnline interface {
+	Online
+	// ArriveVia is Arrive with an explicit candidate source.
+	ArriveVia(w model.Worker, src model.CandidateSource) []model.TaskID
+}
+
 // OnlineFactory builds a fresh Online solver bound to an instance. The
 // candidate index must have been built for the same instance.
 type OnlineFactory func(in *model.Instance, ci *model.CandidateIndex) Online

@@ -31,13 +31,18 @@ type Engine struct {
 	// retiredMask mirrors the solver's closed set so the engine can answer
 	// per-task status without reaching into solver internals.
 	retiredMask []bool
+	// batchAlgo is the solver's BatchOnline view, nil when unsupported; pq
+	// is the engine's reusable pinned query for batch runs (one snapshot
+	// load and one scratch buffer per run instead of per arrival).
+	batchAlgo BatchOnline
+	pq        *model.PinnedQuery
 }
 
 // NewEngine builds an engine around a fresh solver from factory. The
 // candidate index must have been built for the same instance. The
 // instance's Workers slice may be empty: workers arrive via Arrive.
 func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFactory) *Engine {
-	return &Engine{
+	e := &Engine{
 		in:          in,
 		ci:          ci,
 		algo:        factory(in, ci),
@@ -46,6 +51,30 @@ func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 		postIndex:   make([]int, len(in.Tasks)),
 		lastUsed:    make([]int, len(in.Tasks)),
 		retiredMask: make([]bool, len(in.Tasks)),
+		pq:          ci.NewPinnedQuery(),
+	}
+	e.batchAlgo, _ = e.algo.(BatchOnline)
+	return e
+}
+
+// BeginBatch starts a batch run: the candidate index's current snapshot is
+// pinned, and until EndBatch every Arrive draws candidates from that pinned
+// view through one reusable scratch buffer — no per-arrival atomic snapshot
+// load, no pool round-trip. The caller must guarantee the index is not
+// mutated (PostTask/RetireTask) during the run; the dispatch layer does so
+// by holding the shard mutex. For solvers that don't implement BatchOnline
+// this is a no-op and Arrive keeps its per-call path — results are
+// identical either way, batching only amortizes the query plumbing.
+func (e *Engine) BeginBatch() {
+	if e.batchAlgo != nil {
+		e.pq.Pin()
+	}
+}
+
+// EndBatch ends a batch run, releasing the pinned snapshot.
+func (e *Engine) EndBatch() {
+	if e.batchAlgo != nil {
+		e.pq.Unpin()
 	}
 }
 
@@ -57,7 +86,12 @@ func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 // subsequence of global indices (the solvers never read Worker.Index, and
 // the arrangement only takes a max over it).
 func (e *Engine) Arrive(w model.Worker) []model.TaskID {
-	out := e.algo.Arrive(w)
+	var out []model.TaskID
+	if e.batchAlgo != nil && e.pq.Pinned() {
+		out = e.batchAlgo.ArriveVia(w, e.pq)
+	} else {
+		out = e.algo.Arrive(w)
+	}
 	for _, t := range out {
 		acc := e.in.Model.Predict(w, e.in.Tasks[t])
 		was := model.Completed(e.arr.Accumulated[t], e.delta)

@@ -39,11 +39,14 @@ func (l *LAF) Name() string { return "LAF" }
 func (l *LAF) Done() bool { return l.state.allDone() }
 
 // Arrive implements Online (Algorithm 2 lines 4-10).
-func (l *LAF) Arrive(w model.Worker) []model.TaskID {
+func (l *LAF) Arrive(w model.Worker) []model.TaskID { return l.ArriveVia(w, l.ci) }
+
+// ArriveVia implements BatchOnline: Arrive drawing candidates from src.
+func (l *LAF) ArriveVia(w model.Worker, src model.CandidateSource) []model.TaskID {
 	if l.state.allDone() {
 		return nil
 	}
-	l.cands = l.ci.Candidates(w, l.cands[:0])
+	l.cands = src.Candidates(w, l.cands[:0])
 	l.topk.Reset()
 	for _, c := range l.cands {
 		if l.state.done(c.Task) {

@@ -36,11 +36,14 @@ func (r *Random) Name() string { return "Random" }
 func (r *Random) Done() bool { return r.state.allDone() }
 
 // Arrive implements Online.
-func (r *Random) Arrive(w model.Worker) []model.TaskID {
+func (r *Random) Arrive(w model.Worker) []model.TaskID { return r.ArriveVia(w, r.ci) }
+
+// ArriveVia implements BatchOnline: Arrive drawing candidates from src.
+func (r *Random) ArriveVia(w model.Worker, src model.CandidateSource) []model.TaskID {
 	if r.state.allDone() {
 		return nil
 	}
-	r.cands = r.ci.Candidates(w, r.cands[:0])
+	r.cands = src.Candidates(w, r.cands[:0])
 	// Compact to uncompleted candidates in place.
 	open := r.cands[:0]
 	for _, c := range r.cands {

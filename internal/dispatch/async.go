@@ -1,0 +1,170 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+
+	"ltc/internal/model"
+)
+
+// shardQueue is one shard's bounded CheckInAsync buffer. Enqueues block on
+// notFull while the queue is at capacity (backpressure); the shard's
+// drainer blocks on notEmpty while it is empty. A plain slice (not a ring):
+// drainers pop from the front by copying a run out, so the buffer never
+// grows past its capacity.
+type shardQueue struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []model.Worker
+	cap      int
+}
+
+func newShardQueue(capacity int) *shardQueue {
+	q := &shardQueue{cap: capacity}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	return q
+}
+
+// CheckInAsync routes the worker into its spatial shard's bounded queue and
+// returns without waiting for ingestion — the fire-and-forget counterpart
+// of CheckIn for callers that don't need the assignment list back (it stays
+// observable through Arrangement, Credits and TaskStatuses). The first call
+// starts one drainer goroutine per shard; each drainer pops runs of queued
+// workers and ingests every run under a single shard-mutex acquisition and
+// a single pinned candidate snapshot, which is where batching beats
+// per-call CheckIn. Within a shard workers are ingested in enqueue order;
+// across shards there is no order, exactly as with concurrent CheckIn
+// calls.
+//
+// The call blocks while the shard's queue is full (backpressure, bounded by
+// Options.QueueCap) and fails with ErrClosed once Close has been called —
+// also when the block is interrupted by a concurrent Close. Workers
+// enqueued after the platform completed are ingested as bounced arrivals,
+// mirroring CheckIn's ErrDone accounting. Safe for concurrent use.
+func (d *Dispatcher) CheckInAsync(w model.Worker) error {
+	if w.Index < 1 {
+		return fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
+	}
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.ensureDrainers()
+	q := d.queues[d.part.Locate(w.Loc)]
+	d.pending.Add(1)
+	q.mu.Lock()
+	for len(q.buf) >= q.cap && !d.closed.Load() {
+		q.notFull.Wait()
+	}
+	if d.closed.Load() {
+		q.mu.Unlock()
+		d.retirePending(1)
+		return ErrClosed
+	}
+	q.buf = append(q.buf, w)
+	q.notEmpty.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// Flush blocks until every worker enqueued by CheckInAsync before the call
+// has been fully ingested: its assignments are in the arrangement and all
+// counters (latency, progress, arrivals) reflect it, matching what the same
+// stream fed synchronously would have produced. It returns immediately when
+// the async path was never used; with concurrent enqueuers it waits for an
+// instant with no worker in flight.
+func (d *Dispatcher) Flush() {
+	d.flushMu.Lock()
+	for d.pending.Load() != 0 {
+		d.flushCond.Wait()
+	}
+	d.flushMu.Unlock()
+}
+
+// Close shuts the asynchronous ingestion path down: new CheckInAsync calls
+// fail with ErrClosed, enqueuers blocked on backpressure are released with
+// ErrClosed, the drainers ingest everything already queued and exit, and
+// Close waits for all of that to finish. Synchronous CheckIn/CheckInBatch
+// and the task lifecycle remain fully usable afterwards. Safe to call
+// multiple times and from multiple goroutines; every call waits for the
+// complete shutdown.
+func (d *Dispatcher) Close() error {
+	d.asyncMu.Lock()
+	if !d.closed.Load() {
+		d.closed.Store(true)
+		// Wake everyone: blocked enqueuers bail out with ErrClosed, idle
+		// drainers re-check the exit condition.
+		for _, q := range d.queues {
+			q.mu.Lock()
+			q.notEmpty.Broadcast()
+			q.notFull.Broadcast()
+			q.mu.Unlock()
+		}
+	}
+	d.asyncMu.Unlock()
+	d.drainWG.Wait()
+	return nil
+}
+
+// ensureDrainers starts the per-shard drainer goroutines exactly once.
+// The start races with Close under asyncMu: once the dispatcher is closed
+// no drainer is ever spawned (the refused enqueue never queues anything,
+// so nothing is lost).
+func (d *Dispatcher) ensureDrainers() {
+	if d.started.Load() {
+		return
+	}
+	d.asyncMu.Lock()
+	if !d.started.Load() && !d.closed.Load() {
+		d.drainWG.Add(len(d.shards))
+		for si := range d.shards {
+			go d.drainLoop(si)
+		}
+		d.started.Store(true)
+	}
+	d.asyncMu.Unlock()
+}
+
+// drainLoop is shard si's drainer: it pops runs of queued workers (up to
+// Options.MaxDrain per pop, everything queued when 0) and ingests each run
+// under one shard-mutex acquisition and one pinned candidate snapshot. It
+// exits once the dispatcher is closed and the queue fully drained.
+func (d *Dispatcher) drainLoop(si int) {
+	defer d.drainWG.Done()
+	q := d.queues[si]
+	var run []model.Worker
+	for {
+		q.mu.Lock()
+		for len(q.buf) == 0 && !d.closed.Load() {
+			q.notEmpty.Wait()
+		}
+		if len(q.buf) == 0 {
+			// Closed and fully drained.
+			q.mu.Unlock()
+			return
+		}
+		n := len(q.buf)
+		if d.opts.MaxDrain > 0 && n > d.opts.MaxDrain {
+			n = d.opts.MaxDrain
+		}
+		run = append(run[:0], q.buf[:n]...)
+		rest := copy(q.buf, q.buf[n:])
+		q.buf = q.buf[:rest]
+		q.notFull.Broadcast()
+		q.mu.Unlock()
+
+		d.ingestRun(si, run, false, nil)
+		d.retirePending(n)
+	}
+}
+
+// retirePending marks n enqueued workers fully ingested (or refused by a
+// close), waking Flush when nothing is left in flight.
+func (d *Dispatcher) retirePending(n int) {
+	if d.pending.Add(int64(-n)) == 0 {
+		d.flushMu.Lock()
+		d.flushCond.Broadcast()
+		d.flushMu.Unlock()
+	}
+}

@@ -1,0 +1,344 @@
+package dispatch
+
+import (
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ltc/internal/geo"
+	"ltc/internal/model"
+)
+
+// TestAsyncSingleShardMatchesSequential: one shard, one enqueuer — the
+// async path is a sequential feed behind a queue, so after Flush every
+// observable must match the per-call replay bit for bit.
+func TestAsyncSingleShardMatchesSequential(t *testing.T) {
+	in := testInstance(t, 0.02)
+	want, err := New(in, 1, aamFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedSequential(t, want, in.Workers)
+
+	d, err := New(in, 1, aamFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueued := 0
+	for _, w := range in.Workers {
+		if d.Done() {
+			break
+		}
+		if err := d.CheckInAsync(w); err != nil {
+			t.Fatal(err)
+		}
+		enqueued++
+	}
+	d.Flush()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Fatal("async replay incomplete")
+	}
+	// The async feeder races the drainer on Done, so it may enqueue a few
+	// workers past completion; they are bounced arrivals. Everything else
+	// matches exactly.
+	if got := d.Arrived(); got != enqueued {
+		t.Fatalf("arrived %d, enqueued %d — lost workers", got, enqueued)
+	}
+	if want.Latency() != d.Latency() {
+		t.Fatalf("latency %d, want %d", d.Latency(), want.Latency())
+	}
+	wa, ga := want.Arrangement(), d.Arrangement()
+	if len(wa.Pairs) != len(ga.Pairs) {
+		t.Fatalf("%d pairs, want %d", len(ga.Pairs), len(wa.Pairs))
+	}
+	for i := range wa.Pairs {
+		if wa.Pairs[i] != ga.Pairs[i] {
+			t.Fatalf("pair %d: %+v, want %+v", i, ga.Pairs[i], wa.Pairs[i])
+		}
+	}
+	ws, gs := want.TaskStatuses(), d.TaskStatuses()
+	for i := range ws {
+		if ws[i] != gs[i] {
+			t.Fatalf("status %d: %+v, want %+v", i, gs[i], ws[i])
+		}
+	}
+}
+
+// TestAsyncBackpressure: a tiny queue with a capped drain still ingests the
+// whole stream — backpressure blocks enqueues instead of dropping them —
+// and Flush is the completion point.
+func TestAsyncBackpressure(t *testing.T) {
+	in := testInstance(t, 0.02)
+	d, err := New(in, 4, lafFactory, Options{QueueCap: 2, MaxDrain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var cursor, enqueued atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(in.Workers) || d.Done() {
+					return
+				}
+				if err := d.CheckInAsync(in.Workers[i]); err != nil {
+					t.Errorf("CheckInAsync: %v", err)
+					return
+				}
+				enqueued.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	d.Flush()
+	if got := d.Arrived(); got != int(enqueued.Load()) {
+		t.Fatalf("arrived %d, enqueued %d", got, enqueued.Load())
+	}
+	if !d.Done() {
+		t.Fatal("incomplete after full stream")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Routed counts cover exactly the ingested workers in async mode.
+	tot := 0
+	for _, s := range d.ShardStats() {
+		tot += s.Workers
+	}
+	if tot != d.Arrived() {
+		t.Fatalf("shard worker counts %d != arrivals %d", tot, d.Arrived())
+	}
+}
+
+// TestAsyncCloseSemantics: Close refuses later enqueues, releases blocked
+// ones with ErrClosed, ingests the backlog, and is idempotent. Flush on an
+// untouched async path returns immediately.
+func TestAsyncCloseSemantics(t *testing.T) {
+	in := lifecycleInstance(10, 50, 60, 17)
+	d, err := New(in, 1, lafFactory, Options{QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Flush() // async never used: immediate no-op
+
+	if err := d.CheckInAsync(model.Worker{Index: 0}); !errors.Is(err, ErrBadWorkerIndex) {
+		t.Fatalf("bad index err = %v", err)
+	}
+
+	// Stall the drainer on the shard mutex so the queue stays full.
+	s := d.shards[0]
+	s.mu.Lock()
+	if err := d.CheckInAsync(in.Workers[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the drainer to pop the first worker (freeing one slot)...
+	q := d.queues[0]
+	for {
+		q.mu.Lock()
+		empty := len(q.buf) == 0
+		q.mu.Unlock()
+		if empty {
+			break
+		}
+		runtime.Gosched()
+	}
+	// ...fill the slot again, and block a third enqueue on backpressure.
+	if err := d.CheckInAsync(in.Workers[1]); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- d.CheckInAsync(in.Workers[2]) }()
+	for d.pending.Load() != 3 {
+		runtime.Gosched()
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		close(closed)
+	}()
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked enqueue err = %v, want ErrClosed", err)
+	}
+	s.mu.Unlock() // let the drainer ingest the backlog and exit
+	<-closed
+
+	if err := d.CheckInAsync(in.Workers[3]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close enqueue err = %v, want ErrClosed", err)
+	}
+	if err := d.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	d.Flush()
+	// The two queued workers were ingested, the refused one was not.
+	if got := d.Arrived(); got != 2 {
+		t.Fatalf("arrived %d, want 2", got)
+	}
+	// The synchronous paths survive Close.
+	if _, err := d.CheckIn(in.Workers[4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CheckInBatch(in.Workers[5:8]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCloseOnIdleDispatcher: closing before any async use is a no-op
+// that still refuses later enqueues (drainers are never spawned).
+func TestAsyncCloseOnIdleDispatcher(t *testing.T) {
+	in := testInstance(t, 0.01)
+	d, err := New(in, 2, lafFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInAsync(in.Workers[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if d.started.Load() {
+		t.Fatal("drainers spawned on a closed dispatcher")
+	}
+}
+
+// TestAsyncLifecycleStress is the -race stress test of the async pipeline:
+// feeder goroutines stream CheckInAsync while churners post and retire
+// tasks across shards and a flusher calls Flush repeatedly. Invariants: no
+// lost workers (after the final Flush every enqueued worker is an arrival),
+// posted IDs stay dense and unique, progress is monotone, and draining
+// every open task completes the platform.
+func TestAsyncLifecycleStress(t *testing.T) {
+	in := lifecycleInstance(60, 3000, 150, 77)
+	d, err := New(in, 8, aamFactory, Options{QueueCap: 64, MaxDrain: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		cursor   atomic.Int64
+		enqueued atomic.Int64
+		postIDs  sync.Map
+		nPosts   atomic.Int64
+	)
+	monitorStop := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	monitorWG.Add(1)
+	go func() { // progress monitor: resolved and total never decrease
+		defer monitorWG.Done()
+		lastResolved, lastTotal := 0, 0
+		for {
+			select {
+			case <-monitorStop:
+				return
+			default:
+			}
+			resolved, total := d.Progress()
+			if resolved < lastResolved || total < lastTotal {
+				t.Errorf("progress went backwards: %d/%d after %d/%d", resolved, total, lastResolved, lastTotal)
+				return
+			}
+			lastResolved, lastTotal = resolved, total
+			runtime.Gosched()
+		}
+	}()
+
+	for g := 0; g < 4; g++ { // async feeders
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(in.Workers) {
+					return
+				}
+				if err := d.CheckInAsync(in.Workers[i]); err != nil {
+					t.Errorf("CheckInAsync: %v", err)
+					return
+				}
+				enqueued.Add(1)
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ { // churners
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g)+7, 99))
+			for i := 0; i < 60; i++ {
+				if rng.IntN(3) > 0 {
+					loc := geo.Point{X: rng.Float64() * 150, Y: rng.Float64() * 150}
+					gid, err := d.PostTask(model.Task{Loc: loc})
+					if err != nil {
+						t.Errorf("PostTask: %v", err)
+						return
+					}
+					if _, dup := postIDs.LoadOrStore(gid, struct{}{}); dup {
+						t.Errorf("duplicate posted ID %d", gid)
+						return
+					}
+					nPosts.Add(1)
+				} else {
+					_, total := d.Progress()
+					if err := d.RetireTask(model.TaskID(rng.IntN(total))); err != nil {
+						t.Errorf("RetireTask: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // flusher: Flush must be safe at any moment
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			d.Flush()
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	d.Flush()
+	close(monitorStop)
+	monitorWG.Wait()
+
+	if got := d.Arrived(); got != int(enqueued.Load()) {
+		t.Fatalf("arrived %d, enqueued %d — lost workers", got, enqueued.Load())
+	}
+	statuses := d.TaskStatuses()
+	wantTotal := len(in.Tasks) + int(nPosts.Load())
+	if len(statuses) != wantTotal {
+		t.Fatalf("%d statuses, want %d", len(statuses), wantTotal)
+	}
+	if credits := d.Credits(nil); len(credits) != wantTotal {
+		t.Fatalf("%d credits, want %d", len(credits), wantTotal)
+	}
+	for id, st := range statuses { // drain: retire everything still open
+		if !st.Completed && !st.Retired {
+			if err := d.RetireTask(model.TaskID(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !d.Done() {
+		t.Fatal("not done after retiring all open tasks")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resolved, total := d.Progress()
+	if resolved != total || total != wantTotal {
+		t.Fatalf("final progress %d/%d, want %d/%d", resolved, total, wantTotal, wantTotal)
+	}
+}

@@ -1,0 +1,132 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"ltc/internal/model"
+)
+
+// CheckInBatch ingests a batch of workers with the sequential semantics of
+// a CheckIn loop at a fraction of the per-call overhead: consecutive
+// workers routing to the same shard form one run, ingested under a single
+// shard-mutex acquisition and a single pinned candidate-index snapshot
+// (one query-scratch buffer for the whole run). Workers keep their input
+// order, so a sequential caller gets bit-identical assignments, latency and
+// task statuses to feeding the same stream through CheckIn one by one —
+// the golden-trace suite pins this equivalence against Session.
+//
+// out[i] holds the global TaskIDs assigned to ws[i] (possibly none). When
+// the platform completes mid-batch, ingestion stops: out is truncated to
+// the ingested prefix (the worker completing the last task is its final
+// entry), ErrDone is returned, and the remaining workers are not observed
+// at all — they tick no arrival clock and count no arrival, so they can be
+// re-presented after a PostTask revives the platform. A platform already
+// complete at call time returns an empty out and ErrDone. A worker with a
+// non-positive index fails the whole batch upfront with ErrBadWorkerIndex;
+// an empty batch is a no-op. Safe for concurrent use alongside every other
+// dispatcher method.
+func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([][]model.TaskID, error) {
+	for i, w := range ws {
+		if w.Index < 1 {
+			return nil, fmt.Errorf("%w: got %d at batch position %d", ErrBadWorkerIndex, w.Index, i)
+		}
+	}
+	out := make([][]model.TaskID, 0, len(ws))
+	for i := 0; i < len(ws); {
+		if d.Done() {
+			return out, ErrDone
+		}
+		si := d.part.Locate(ws[i].Loc)
+		j := i + 1
+		for j < len(ws) && d.part.Locate(ws[j].Loc) == si {
+			j++
+		}
+		base := len(out)
+		out = out[:base+j-i]
+		consumed := d.ingestRun(si, ws[i:j], true, func(k int, assigned []model.TaskID) {
+			out[base+k] = append([]model.TaskID(nil), assigned...)
+		})
+		out = out[:base+consumed]
+		if consumed < j-i {
+			return out, ErrDone
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// ingestRun offers a same-shard run of workers to shard si under one mutex
+// acquisition and one pinned candidate snapshot — the batched inner loop
+// shared by CheckInBatch and the async drainers. CheckIn is semantically a
+// run of length one but keeps its own allocation-lean body (the sink
+// closure would cost the per-call hot path two heap allocations);
+// TestCheckInBatchMatchesSequential pins the two implementations together.
+//
+// truncate selects the completion semantics: when true the run stops before
+// the first worker that would arrive on a completed platform (the
+// CheckInBatch contract — unconsumed workers are not observed at all);
+// when false such workers are consumed as bounced arrivals, exactly like
+// check-ins racing a momentarily-complete platform (the async contract).
+//
+// sink, when non-nil, is invoked once per consumed worker, in run order,
+// with the worker's position and its assignments as global TaskIDs; the
+// slice is scratch, valid only during the call (nil when the worker was
+// bounced or got no assignment). Global state other threads read mid-run —
+// the arrival clock anchoring PostTask indices and the live-task countdown
+// behind Done — is updated per worker, so a long run never publishes stale
+// values; pure outputs (latency watermarks, the arrival total) fold in
+// once per run.
+func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink func(i int, assigned []model.TaskID)) (consumed int) {
+	s := d.shards[si]
+	var gout []model.TaskID
+	runMaxUsed, runMaxRel := 0, 0
+	s.mu.Lock()
+	s.eng.BeginBatch()
+	for i := range run {
+		if truncate && d.Done() {
+			break
+		}
+		w := run[i]
+		consumed++
+		s.routed++
+		atomicMax(&d.maxSeen, int64(w.Index))
+		if s.eng.Done() {
+			// The shard has no open tasks: the worker is consumed as a
+			// bounced arrival (CheckIn's nil result).
+			if sink != nil {
+				sink(i, nil)
+			}
+			continue
+		}
+		s.offered++
+		before, _ := s.eng.Progress()
+		assigned := s.eng.Arrive(w)
+		gout = gout[:0]
+		for _, t := range assigned {
+			gout = append(gout, s.sub.Global[t])
+			if rel := w.Index - s.eng.TaskPostIndex(t); rel > runMaxRel {
+				runMaxRel = rel
+			}
+		}
+		if len(assigned) > 0 {
+			s.workers[w.Index] = w
+			if w.Index > runMaxUsed {
+				runMaxUsed = w.Index
+			}
+		}
+		if after, _ := s.eng.Progress(); after > before {
+			d.remaining.Add(int64(-(after - before)))
+		}
+		if sink != nil {
+			sink(i, gout)
+		}
+	}
+	s.eng.EndBatch()
+	if runMaxUsed > 0 {
+		atomicMax(&d.maxUsed, int64(runMaxUsed))
+		atomicMax(&d.maxRel, int64(runMaxRel))
+	}
+	s.mu.Unlock()
+	d.arrived.Add(int64(consumed))
+	return consumed
+}

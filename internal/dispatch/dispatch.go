@@ -45,7 +45,29 @@ var (
 	ErrBadWorkerIndex = errors.New("dispatch: worker arrival index must be ≥ 1")
 	// ErrUnknownTask is returned by RetireTask for ids never posted.
 	ErrUnknownTask = errors.New("dispatch: unknown task ID")
+	// ErrClosed is returned by CheckInAsync once Close has been called.
+	ErrClosed = errors.New("dispatch: dispatcher closed")
+	// ErrBadOptions is returned by New for negative tuning values.
+	ErrBadOptions = errors.New("dispatch: queue capacity and drain cap must be ≥ 0")
 )
+
+// DefaultQueueCap is the per-shard CheckInAsync queue capacity used when
+// Options.QueueCap is zero.
+const DefaultQueueCap = 1024
+
+// Options tunes the batched/asynchronous ingestion path; the zero value is
+// ready to use.
+type Options struct {
+	// QueueCap bounds each shard's CheckInAsync queue. Enqueues block
+	// (backpressure) while the owning shard's queue is full. 0 means
+	// DefaultQueueCap.
+	QueueCap int
+	// MaxDrain caps how many queued workers a shard's drainer ingests under
+	// one mutex acquisition. 0 drains everything queued (bounded by
+	// QueueCap); smaller values bound how long a drain run can make a
+	// concurrent PostTask/RetireTask wait for the shard mutex.
+	MaxDrain int
+}
 
 // shard pairs one spatial sub-instance with its solver engine, its
 // incrementally updatable candidate index, and the mutex serializing its
@@ -92,12 +114,35 @@ type Dispatcher struct {
 	// takes only the shard mutex.
 	regMu   sync.RWMutex
 	records []taskRecord
+
+	// Async ingestion state (see async.go). queues is allocated in New;
+	// drainer goroutines start lazily on the first CheckInAsync.
+	opts      Options
+	queues    []*shardQueue
+	asyncMu   sync.Mutex // serializes drainer start and the close transition
+	started   atomic.Bool
+	closed    atomic.Bool
+	drainWG   sync.WaitGroup
+	pending   atomic.Int64 // workers enqueued but not yet fully ingested
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
 }
 
 // New partitions the instance into up to nShards spatial shards and binds a
 // fresh solver (from factory) to each. The instance needs Tasks, Model, K
-// and Epsilon; Workers may be empty — they arrive via CheckIn.
-func New(in *model.Instance, nShards int, factory core.OnlineFactory) (*Dispatcher, error) {
+// and Epsilon; Workers may be empty — they arrive via CheckIn. An optional
+// Options tunes the asynchronous ingestion path.
+func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Options) (*Dispatcher, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.QueueCap < 0 || o.MaxDrain < 0 {
+		return nil, fmt.Errorf("%w: got QueueCap %d, MaxDrain %d", ErrBadOptions, o.QueueCap, o.MaxDrain)
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = DefaultQueueCap
+	}
 	if err := in.ValidateStreaming(); err != nil {
 		return nil, err
 	}
@@ -105,7 +150,12 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory) (*Dispatch
 	if err != nil {
 		return nil, err
 	}
-	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards())}
+	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards()), opts: o}
+	d.flushCond = sync.NewCond(&d.flushMu)
+	d.queues = make([]*shardQueue, part.NumShards())
+	for i := range d.queues {
+		d.queues[i] = newShardQueue(o.QueueCap)
+	}
 	d.records = make([]taskRecord, len(in.Tasks))
 	for i, sub := range part.Shards {
 		ci := model.NewCandidateIndex(sub.In)
@@ -150,6 +200,10 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 		d.arrived.Add(1)
 		return nil, ErrDone
 	}
+	// Semantically a batch run of length one, but kept as a dedicated
+	// allocation-lean body: routing ingestRun's sink through a closure costs
+	// the hottest per-call path two heap allocations per check-in.
+	// TestCheckInBatchMatchesSequential pins the two paths together.
 	s := d.shards[d.part.Locate(w.Loc)]
 
 	s.mu.Lock()

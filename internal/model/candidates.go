@@ -225,6 +225,15 @@ func (ci *CandidateIndex) Remove(id TaskID) error {
 	return nil
 }
 
+// CandidateSource answers per-worker eligibility queries. It is the
+// capability the online solvers draw candidates from: the live
+// CandidateIndex (every query loads the latest snapshot) or a PinnedQuery
+// (a whole run of queries shares one snapshot and one scratch buffer — the
+// batched ingestion path).
+type CandidateSource interface {
+	Candidates(w Worker, dst []Candidate) []Candidate
+}
+
 // Candidates appends to dst every live task worker w is eligible for and
 // returns the extended slice. Candidates are ordered by ascending TaskID.
 // It is safe to call concurrently from multiple goroutines on one shared
@@ -241,19 +250,30 @@ func (ci *CandidateIndex) Candidates(w Worker, dst []Candidate) []Candidate {
 func (ci *CandidateIndex) candidatesFrom(s *indexSnapshot, w Worker, dst []Candidate) []Candidate {
 	if s.grid != nil {
 		bufp := idBufPool.Get().(*[]int32)
-		ids := s.grid.within(w.Loc, ci.radius, s.tasks, (*bufp)[:0])
-		// Grid results are grouped by cell; sort by id for determinism.
-		sortInt32(ids)
-		for _, id := range ids {
-			t := s.tasks[id]
-			if acc, ok := ci.in.Eligible(w, t); ok {
-				dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
-			}
-		}
-		*bufp = ids
+		dst, *bufp = ci.scanGrid(s, w, dst, *bufp)
 		idBufPool.Put(bufp)
 		return dst
 	}
+	return ci.scanAll(s, w, dst)
+}
+
+// scanGrid collects the eligible candidates among the snapshot's grid hits,
+// using (and returning) the caller's id scratch buffer. Grid results are
+// grouped by cell; sorting by id keeps the output deterministic.
+func (ci *CandidateIndex) scanGrid(s *indexSnapshot, w Worker, dst []Candidate, scratch []int32) ([]Candidate, []int32) {
+	ids := s.grid.within(w.Loc, ci.radius, s.tasks, scratch[:0])
+	sortInt32(ids)
+	for _, id := range ids {
+		t := s.tasks[id]
+		if acc, ok := ci.in.Eligible(w, t); ok {
+			dst = append(dst, Candidate{Task: t.ID, Acc: acc, AccStar: AccStar(acc)})
+		}
+	}
+	return dst, ids
+}
+
+// scanAll is the unbounded-radius fallback: every live task is checked.
+func (ci *CandidateIndex) scanAll(s *indexSnapshot, w Worker, dst []Candidate) []Candidate {
 	for id, t := range s.tasks {
 		if !s.live[id] {
 			continue
@@ -263,6 +283,52 @@ func (ci *CandidateIndex) candidatesFrom(s *indexSnapshot, w Worker, dst []Candi
 		}
 	}
 	return dst
+}
+
+// PinnedQuery answers Candidates against one pinned snapshot of its index,
+// with a private scratch buffer: a run of queries pays a single atomic
+// snapshot load (at Pin) and zero pool round-trips — the amortization the
+// batched ingestion path is built on. Between Pin and Unpin the view is
+// frozen: tasks inserted or removed on the index after the Pin are not
+// seen. Unlike the index itself a PinnedQuery is NOT safe for concurrent
+// use; callers serialize it with their own lock (the dispatch layer holds
+// the owning shard's mutex for the whole run).
+type PinnedQuery struct {
+	ci   *CandidateIndex
+	s    *indexSnapshot
+	sbuf []int32
+}
+
+// NewPinnedQuery returns an unpinned query bound to the index. While
+// unpinned, Candidates falls back to the index's live snapshot (still
+// skipping the pool round-trip).
+func (ci *CandidateIndex) NewPinnedQuery() *PinnedQuery {
+	return &PinnedQuery{ci: ci}
+}
+
+// Pin captures the index's current snapshot for the queries that follow.
+// Re-pinning refreshes the view.
+func (p *PinnedQuery) Pin() { p.s = p.ci.snap.Load() }
+
+// Unpin releases the pinned snapshot (so superseded snapshots can be
+// collected between runs); queries fall back to the live view.
+func (p *PinnedQuery) Unpin() { p.s = nil }
+
+// Pinned reports whether a snapshot is currently pinned.
+func (p *PinnedQuery) Pinned() bool { return p.s != nil }
+
+// Candidates mirrors CandidateIndex.Candidates against the pinned snapshot
+// (or the live one while unpinned), implementing CandidateSource.
+func (p *PinnedQuery) Candidates(w Worker, dst []Candidate) []Candidate {
+	s := p.s
+	if s == nil {
+		s = p.ci.snap.Load()
+	}
+	if s.grid != nil {
+		dst, p.sbuf = p.ci.scanGrid(s, w, dst, p.sbuf)
+		return dst
+	}
+	return p.ci.scanAll(s, w, dst)
 }
 
 // within appends the ids of all indexed tasks at Euclidean distance ≤ radius

@@ -1,0 +1,168 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ltc/internal/geo"
+)
+
+// pinnedInstance builds a small bounded-radius instance plus probe workers.
+func pinnedInstance(t *testing.T, seed uint64, nTasks int) (*Instance, []Worker) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+	in := &Instance{
+		Epsilon: 0.1,
+		K:       3,
+		Model:   SigmoidDistance{DMax: 25},
+		MinAcc:  0.5,
+	}
+	for i := 0; i < nTasks; i++ {
+		in.Tasks = append(in.Tasks, Task{
+			ID:  TaskID(i),
+			Loc: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		})
+	}
+	probes := make([]Worker, 20)
+	for i := range probes {
+		probes[i] = Worker{
+			Index: i + 1,
+			Loc:   geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			Acc:   0.7 + rng.Float64()*0.3,
+		}
+	}
+	return in, probes
+}
+
+// equalCandidates compares two candidate lists element by element (order and
+// float bits included).
+func equalCandidates(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPinnedQueryMatchesLive: pinned and live queries over an unchanging
+// index must agree bitwise, for both the grid-backed and the unbounded
+// (no RadiusBounder) query paths, and whether or not the query is pinned.
+func TestPinnedQueryMatchesLive(t *testing.T) {
+	in, probes := pinnedInstance(t, 7, 40)
+	unbounded := &Instance{
+		Tasks:   in.Tasks,
+		Epsilon: in.Epsilon,
+		K:       in.K,
+		Model:   ConstantAccuracy{P: 0.9},
+		MinAcc:  0.5,
+	}
+	for name, inst := range map[string]*Instance{"grid": in, "unbounded": unbounded} {
+		ci := NewCandidateIndex(inst)
+		pq := ci.NewPinnedQuery()
+		if pq.Pinned() {
+			t.Fatalf("%s: fresh query reports pinned", name)
+		}
+		var live, pinned []Candidate
+		for _, w := range probes {
+			live = ci.Candidates(w, live[:0])
+			// Unpinned: falls back to the live snapshot.
+			pinned = pq.Candidates(w, pinned[:0])
+			if !equalCandidates(live, pinned) {
+				t.Fatalf("%s: unpinned query diverges for worker %d", name, w.Index)
+			}
+			pq.Pin()
+			if !pq.Pinned() {
+				t.Fatalf("%s: Pin did not pin", name)
+			}
+			pinned = pq.Candidates(w, pinned[:0])
+			if !equalCandidates(live, pinned) {
+				t.Fatalf("%s: pinned query diverges for worker %d", name, w.Index)
+			}
+			pq.Unpin()
+		}
+	}
+}
+
+// TestPinnedQueryFreezesView: between Pin and Unpin the query must not see
+// tasks inserted or removed on the index; after a re-Pin it must.
+func TestPinnedQueryFreezesView(t *testing.T) {
+	in, probes := pinnedInstance(t, 21, 30)
+	ci := NewCandidateIndex(in)
+	pq := ci.NewPinnedQuery()
+	pq.Pin()
+
+	var before []Candidate
+	before = pq.Candidates(probes[0], before)
+
+	// Mutate the index under the pin: drop a task the probe can reach (if
+	// any) and insert a new task right at the probe's location.
+	if len(before) > 0 {
+		if err := ci.Remove(before[0].Task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	posted := Task{ID: TaskID(ci.NumTasks()), Loc: probes[0].Loc}
+	if err := ci.Insert(posted); err != nil {
+		t.Fatal(err)
+	}
+
+	var frozen []Candidate
+	frozen = pq.Candidates(probes[0], frozen)
+	if !equalCandidates(before, frozen) {
+		t.Fatalf("pinned view changed under Insert/Remove: %v -> %v", before, frozen)
+	}
+
+	// Re-pinning refreshes: the posted task (at the probe's own location, so
+	// trivially eligible) must now appear and the removed one must not.
+	pq.Pin()
+	var after []Candidate
+	after = pq.Candidates(probes[0], after)
+	var fresh []Candidate
+	fresh = ci.Candidates(probes[0], fresh)
+	if !equalCandidates(after, fresh) {
+		t.Fatalf("re-pinned view %v diverges from live view %v", after, fresh)
+	}
+	found := false
+	for _, c := range after {
+		if c.Task == posted.ID {
+			found = true
+		}
+		if len(before) > 0 && c.Task == before[0].Task {
+			t.Fatalf("removed task %d still visible after re-pin", before[0].Task)
+		}
+	}
+	if !found {
+		t.Fatalf("posted task %d not visible after re-pin: %v", posted.ID, after)
+	}
+	pq.Unpin()
+	if pq.Pinned() {
+		t.Fatal("Unpin did not unpin")
+	}
+}
+
+// TestPinnedQueryAgainstBrute cross-checks a pinned run against the
+// brute-force oracle over many random probes, reusing one query (and so one
+// scratch buffer) for the whole run.
+func TestPinnedQueryAgainstBrute(t *testing.T) {
+	in, probes := pinnedInstance(t, 33, 60)
+	ci := NewCandidateIndex(in)
+	live := make([]bool, len(in.Tasks))
+	for i := range live {
+		live[i] = true
+	}
+	pq := ci.NewPinnedQuery()
+	pq.Pin()
+	defer pq.Unpin()
+	var buf []Candidate
+	for _, w := range probes {
+		buf = pq.Candidates(w, buf[:0])
+		want := bruteCandidates(in, in.Tasks, live, w)
+		if !equalCandidates(buf, want) {
+			t.Fatalf("worker %d: pinned %v, brute %v", w.Index, buf, want)
+		}
+	}
+}

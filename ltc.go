@@ -17,8 +17,9 @@
 //     and Base-off; online LAF, AAM and Random — plus an exact solver for
 //     tiny instances;
 //   - Solve for one-shot runs, Session for single-threaded streaming use,
-//     and Platform for concurrent check-in streams over spatial shards
-//     (see CONCURRENCY.md);
+//     and Platform for concurrent check-in streams over spatial shards —
+//     per call (CheckIn), batched (CheckInBatch) or asynchronous behind
+//     bounded per-shard queues (CheckInAsync/Flush); see CONCURRENCY.md;
 //   - workload generators reproducing the paper's synthetic (Table IV) and
 //     Foursquare-style (Table V) datasets;
 //   - a voting simulator to verify completed tasks empirically meet ε.

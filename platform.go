@@ -20,6 +20,13 @@ import (
 // concurrently with CheckIn; see CONCURRENCY.md for shard ownership and the
 // latency accounting of late-posted tasks.
 //
+// Arrivals can also be ingested in bulk: CheckInBatch processes a batch
+// with sequential semantics under amortized locking, and CheckInAsync
+// routes workers into per-shard bounded queues drained by background
+// goroutines, with Flush/Close as deterministic completion points — the
+// high-throughput path (see CONCURRENCY.md, "Batched and asynchronous
+// ingestion").
+//
 // With Shards = 1 a Platform fed workers sequentially in arrival order
 // produces exactly the Session's arrangement. With more shards each worker
 // is only considered for its own shard's tasks, which changes (usually
@@ -29,8 +36,14 @@ type Platform struct {
 	d *dispatch.Dispatcher
 }
 
-// ErrPlatformDone is returned by CheckIn once every task has completed.
-var ErrPlatformDone = dispatch.ErrDone
+// Platform errors.
+var (
+	// ErrPlatformDone is returned by CheckIn (and, with a partial result,
+	// CheckInBatch) once every task has completed.
+	ErrPlatformDone = dispatch.ErrDone
+	// ErrPlatformClosed is returned by CheckInAsync after Close.
+	ErrPlatformClosed = dispatch.ErrClosed
+)
 
 // PlatformOptions tunes NewPlatform.
 type PlatformOptions struct {
@@ -40,6 +53,15 @@ type PlatformOptions struct {
 	Shards int
 	// Seed drives the Random algorithm (per shard), as in SolveOptions.
 	Seed uint64
+	// QueueCap bounds each shard's CheckInAsync queue: enqueues block
+	// (backpressure) while the owning shard's queue is full. 0 uses the
+	// dispatch layer's default (1024); negative values are rejected.
+	QueueCap int
+	// MaxDrain caps how many queued workers a shard's drainer ingests under
+	// one mutex acquisition. 0 drains everything queued; smaller values
+	// bound how long a drain run can make a concurrent PostTask or
+	// RetireTask wait. Negative values are rejected.
+	MaxDrain int
 }
 
 // ShardStats is one shard's progress snapshot, re-exported from the
@@ -72,7 +94,7 @@ func NewPlatform(in *Instance, algo Algorithm, opts ...PlatformOptions) (*Platfo
 	if err != nil {
 		return nil, err
 	}
-	d, err := dispatch.New(in, o.Shards, factory)
+	d, err := dispatch.New(in, o.Shards, factory, dispatch.Options{QueueCap: o.QueueCap, MaxDrain: o.MaxDrain})
 	if err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
@@ -95,6 +117,53 @@ func (p *Platform) CheckIn(w Worker) ([]TaskID, error) {
 	}
 	return out, nil
 }
+
+// CheckInBatch ingests a batch of workers with the exact semantics of
+// calling CheckIn for each in order, at a fraction of the per-call
+// overhead: consecutive workers landing on the same shard are processed
+// under a single shard-lock acquisition and a single candidate-index
+// snapshot. out[i] lists the tasks assigned to ws[i]. When the platform
+// completes mid-batch, out is truncated to the ingested prefix and
+// ErrPlatformDone is returned; the remaining workers are not observed and
+// may be re-presented after a PostTask revives the platform. A worker with
+// a non-positive index fails the whole batch upfront. Safe for concurrent
+// use; see CONCURRENCY.md for the batched ordering contract.
+func (p *Platform) CheckInBatch(ws []Worker) ([][]TaskID, error) {
+	out, err := p.d.CheckInBatch(ws)
+	if err != nil {
+		return out, fmt.Errorf("ltc: %w", err)
+	}
+	return out, nil
+}
+
+// CheckInAsync enqueues the worker into its shard's bounded queue and
+// returns immediately — the fire-and-forget ingestion path. A background
+// drainer per shard pops runs of queued workers and processes each run
+// under one shard-lock acquisition and one candidate-index snapshot, so
+// sustained streams ingest faster than per-call CheckIn. Assignments stay
+// observable through Arrangement, Credits and TaskStatuses; Flush gives the
+// deterministic completion point. The call blocks while the shard's queue
+// is full (backpressure) and returns ErrPlatformClosed after Close. Safe
+// for concurrent use.
+func (p *Platform) CheckInAsync(w Worker) error {
+	if err := p.d.CheckInAsync(w); err != nil {
+		return fmt.Errorf("ltc: %w", err)
+	}
+	return nil
+}
+
+// Flush blocks until every worker enqueued by CheckInAsync before the call
+// has been fully ingested: latency, progress and per-worker assignments
+// then match what the same stream fed through CheckIn would have produced.
+// It returns immediately when the async path was never used.
+func (p *Platform) Flush() { p.d.Flush() }
+
+// Close shuts the asynchronous ingestion path down: subsequent (and
+// blocked) CheckInAsync calls fail with ErrPlatformClosed, everything
+// already queued is ingested, and the drainers exit. Synchronous CheckIn,
+// CheckInBatch and the task lifecycle remain usable. Safe to call more
+// than once.
+func (p *Platform) Close() error { return p.d.Close() }
 
 // PostTask adds a task to the live platform and returns its global TaskID
 // (dense: initial tasks keep 0..n-1, posted tasks follow in post order).
