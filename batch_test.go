@@ -45,8 +45,10 @@ func checkBatchEquivalence(t *testing.T, in *Instance, algo Algorithm, seed uint
 	}
 	platCall, platBatch, platAsync := newPlat(), newPlat(), newPlat()
 
-	// Session + per-call platform, in lockstep.
-	var sessOut [][]TaskID
+	// Session + per-call platform, in lockstep. Receipts carry the full
+	// per-assignment grant (task, credit, completed), so the equivalence
+	// check covers the structured v2 surface, not just the task lists.
+	var sessOut [][]TaskGrant
 	for _, w := range in.Workers {
 		if sess.Done() {
 			break
@@ -55,14 +57,14 @@ func checkBatchEquivalence(t *testing.T, in *Instance, algo Algorithm, seed uint
 		if err != nil {
 			t.Fatal(err)
 		}
-		sessOut = append(sessOut, append([]TaskID(nil), st...))
+		sessOut = append(sessOut, append([]TaskGrant(nil), st.Assignments...))
 		if _, err := platCall.CheckIn(w); err != nil {
 			t.Fatal(err)
 		}
 	}
 
 	// Batched replay: chunks of `batch`, stopping at the truncation signal.
-	var batchOut [][]TaskID
+	var batchOut []Receipt
 	for i := 0; i < len(in.Workers); i += batch {
 		j := i + batch
 		if j > len(in.Workers) {
@@ -81,14 +83,21 @@ func checkBatchEquivalence(t *testing.T, in *Instance, algo Algorithm, seed uint
 		t.Fatalf("%s batch=%d: batched fed %d workers, session %d", algo, batch, len(batchOut), len(sessOut))
 	}
 	for i := range sessOut {
-		if len(batchOut[i]) != len(sessOut[i]) {
-			t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, batchOut[i], sessOut[i])
+		rec := batchOut[i]
+		if rec.Worker != in.Workers[i].Index {
+			t.Fatalf("%s batch=%d: receipt %d echoes worker %d, want %d", algo, batch, i, rec.Worker, in.Workers[i].Index)
+		}
+		if len(rec.Assignments) != len(sessOut[i]) {
+			t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, rec.Assignments, sessOut[i])
 		}
 		for k := range sessOut[i] {
-			if batchOut[i][k] != sessOut[i][k] {
-				t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, batchOut[i], sessOut[i])
+			if rec.Assignments[k] != sessOut[i][k] {
+				t.Fatalf("%s batch=%d: worker %d assigned %v, session %v", algo, batch, i+1, rec.Assignments, sessOut[i])
 			}
 		}
+	}
+	if n := len(batchOut); n > 0 && !batchOut[n-1].Done && sess.Done() {
+		t.Fatalf("%s batch=%d: final receipt not marked done", algo, batch)
 	}
 
 	// Async replay: sequential enqueue, Flush as the completion point.

@@ -28,8 +28,8 @@ type ChurnReport struct {
 // Events scheduled past the end of the worker stream (a TTL can outlive
 // it) fire after the last worker, so every planned expiry lands and the
 // report's Completed + Expired always covers the whole task set.
-func ReplayChurn(cw *ChurnWorkload, algo Algorithm, opts PlatformOptions) (*ChurnReport, error) {
-	plat, err := NewPlatform(cw.Instance, algo, opts)
+func ReplayChurn(cw *ChurnWorkload, algo Algorithm, opts ...Option) (*ChurnReport, error) {
+	plat, err := NewPlatform(cw.Instance, algo, opts...)
 	if err != nil {
 		return nil, err
 	}

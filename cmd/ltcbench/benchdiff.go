@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"text/tabwriter"
+)
+
+// runBenchDiff compares two committed throughput artifacts (see
+// throughputArtifact) cell by cell and fails — non-zero exit — when any
+// cell present in both regressed by more than tolerance (fractional, e.g.
+// 0.10): the CI benchmark-regression gate between BENCH_prN.json files.
+// Cells only in one artifact are reported but never fail the diff, so new
+// modes can be added without breaking the gate.
+func runBenchDiff(basePath, candPath string, tolerance float64) error {
+	base, err := readArtifact(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readArtifact(candPath)
+	if err != nil {
+		return err
+	}
+	if base.Preset != cand.Preset || base.Algo != cand.Algo {
+		return fmt.Errorf("artifacts not comparable: %s/%s vs %s/%s",
+			base.Preset, base.Algo, cand.Preset, cand.Algo)
+	}
+	key := func(r throughputResult) string {
+		return fmt.Sprintf("%s/shards=%d/batch=%d", r.Mode, r.Shards, r.BatchSize)
+	}
+	baseCells := make(map[string]throughputResult, len(base.Results))
+	for _, r := range base.Results {
+		baseCells[key(r)] = r
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "cell\tbaseline w/s\tcandidate w/s\tratio\tverdict\n")
+	var failures int
+	for _, c := range cand.Results {
+		b, ok := baseCells[key(c)]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.0f\t-\tnew\n", key(c), c.WorkersPerSec)
+			continue
+		}
+		delete(baseCells, key(c))
+		ratio := c.WorkersPerSec / b.WorkersPerSec
+		verdict := "ok"
+		if ratio < 1-tolerance {
+			verdict = "REGRESSED"
+			failures++
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\t%s\n", key(c), b.WorkersPerSec, c.WorkersPerSec, ratio, verdict)
+	}
+	for k, b := range baseCells {
+		fmt.Fprintf(w, "%s\t%.0f\t-\t-\tdropped\n", k, b.WorkersPerSec)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d cell(s) regressed more than %s%% vs %s",
+			failures, strconv.FormatFloat(tolerance*100, 'g', -1, 64), basePath)
+	}
+	fmt.Printf("benchdiff: every shared cell within %s%% of %s\n",
+		strconv.FormatFloat(tolerance*100, 'g', -1, 64), basePath)
+	return nil
+}
+
+func readArtifact(path string) (*throughputArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art throughputArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &art, nil
+}

@@ -46,7 +46,7 @@ func runChurn(scale float64, seed uint64, shards int, initialFrac float64, ttl i
 		if !algo.IsOnline() {
 			return fmt.Errorf("churn needs an online algorithm, got %s", algo)
 		}
-		rep, err := ltc.ReplayChurn(cw, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		rep, err := ltc.ReplayChurn(cw, algo, ltc.WithShards(shards), ltc.WithSeed(seed))
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}

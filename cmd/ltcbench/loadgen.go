@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltc"
+	"ltc/internal/httpapi"
+)
+
+// runLoadgen drives a running ltcd gateway end to end: it regenerates the
+// gateway's worker stream from the same -scale/-seed flags, subscribes to
+// the SSE event feed, pushes the stream over HTTP (per-call or in
+// /checkin/batch chunks, from one or more connections), and then audits
+// the run:
+//
+//   - the gateway must report done, with every task resolved;
+//   - the SSE subscriber must have received exactly one task_completed per
+//     task plus a platform_done (the exactly-once delivery contract);
+//   - with a single connection (a sequential feed) the gateway's latency
+//     must equal an in-process Platform fed the same stream — the wire
+//     changes nothing about assignment decisions.
+//
+// It prints workers/s as the headline number and returns an error (non-zero
+// exit) when any audit fails, which is what the CI smoke job keys on.
+func runLoadgen(url string, scale float64, seed uint64, algoName string, batch, conns int) error {
+	if url == "" {
+		return errors.New("loadgen needs -url pointing at a running ltcd")
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	cfg := ltc.DefaultWorkload().Scale(scale)
+	cfg.Seed = seed
+	in, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	client := &httpapi.Client{Base: url}
+
+	pre, err := client.Stats()
+	if err != nil {
+		return fmt.Errorf("gateway unreachable: %w", err)
+	}
+	// Default the in-process replay to whatever the gateway actually runs;
+	// -algos only overrides for deliberate mismatch experiments.
+	algo := ltc.Algorithm(algoName)
+	if algoName == "" {
+		algo = ltc.Algorithm(pre.Algo)
+	}
+	if pre.Tasks != len(in.Tasks) {
+		return fmt.Errorf("gateway serves %d tasks, local generation has %d — mismatched -scale/-seed?", pre.Tasks, len(in.Tasks))
+	}
+	if pre.WorkersSeen != 0 {
+		return fmt.Errorf("gateway already saw %d workers — loadgen needs a fresh ltcd", pre.WorkersSeen)
+	}
+	fmt.Printf("loadgen: %d tasks / %d workers against %s (%s, %d shards, %d conns, batch=%d)\n",
+		len(in.Tasks), len(in.Workers), url, pre.Algo, pre.Shards, conns, batch)
+
+	// Subscribe before feeding: OpenEvents returning means the gateway-side
+	// subscription is live.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream, err := client.OpenEvents(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = stream.Close() }()
+	completions := make(map[int]int)
+	var dupes, platformDone int
+	streamErr := make(chan error, 1)
+	go func() {
+		for {
+			e, err := stream.Next()
+			if err == io.EOF {
+				streamErr <- nil
+				return
+			}
+			if err != nil {
+				streamErr <- err
+				return
+			}
+			switch e.Kind {
+			case "task_completed":
+				completions[e.Task]++
+				if completions[e.Task] > 1 {
+					dupes++
+				}
+			case "platform_done":
+				platformDone++
+			}
+			// Concurrent feeders can publish a completion from another shard
+			// after the platform_done transition, so wait for both signals
+			// before ending the audit (the caller's timeout backstops a
+			// dropped event).
+			if platformDone > 0 && len(completions) >= len(in.Tasks) {
+				streamErr <- nil
+				return
+			}
+		}
+	}()
+
+	// Feed the stream. Connections claim workers (or batch chunks) from a
+	// shared cursor; with conns=1 this is exactly the sequential feed.
+	wire := make([]httpapi.Worker, len(in.Workers))
+	for i, w := range in.Workers {
+		wire[i] = httpapi.FromWorker(w)
+	}
+	var cursor, fed atomic.Int64
+	var done atomic.Bool
+	errs := make(chan error, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	step := 1
+	if batch > 1 {
+		step = batch
+	}
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &httpapi.Client{Base: url}
+			for !done.Load() {
+				i := int(cursor.Add(int64(step))) - step
+				if i >= len(wire) {
+					return
+				}
+				j := min(i+step, len(wire))
+				if batch > 1 {
+					recs, batchDone, err := c.CheckInBatch(wire[i:j])
+					if err != nil {
+						errs <- err
+						return
+					}
+					fed.Add(int64(len(recs)))
+					if batchDone {
+						done.Store(true)
+					}
+				} else {
+					rec, err := c.CheckIn(wire[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					fed.Add(1)
+					if rec.Done {
+						done.Store(true)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Wait for the subscriber to observe platform_done, then audit.
+	select {
+	case err := <-streamErr:
+		if err != nil {
+			return fmt.Errorf("event stream: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return errors.New("timed out waiting for platform_done on the event stream")
+	}
+	st, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fed %d workers in %v (%.0f workers/s over the wire)\n",
+		fed.Load(), elapsed.Round(time.Millisecond), float64(fed.Load())/elapsed.Seconds())
+	fmt.Printf("gateway: latency=%d relative=%d workers_seen=%d resolved=%d/%d done=%v\n",
+		st.Latency, st.RelativeLatency, st.WorkersSeen, st.Resolved, st.Total, st.Done)
+	if !st.Done || st.Resolved != st.Total {
+		return fmt.Errorf("gateway incomplete: %d/%d resolved", st.Resolved, st.Total)
+	}
+	if len(completions) != len(in.Tasks) || dupes > 0 || platformDone != 1 {
+		return fmt.Errorf("event audit failed: %d/%d distinct completions, %d duplicates, %d platform_done",
+			len(completions), len(in.Tasks), dupes, platformDone)
+	}
+	fmt.Printf("events: %d task_completed (all distinct), platform_done observed — exactly-once delivery holds\n",
+		len(completions))
+
+	if conns == 1 {
+		// Sequential feed: the wire must not change assignment decisions.
+		// Mirror the gateway's spatial grid by replaying its REQUESTED
+		// shard count — the effective count can be lower (collapsed empty
+		// tiles) and would build a different grid if requested directly.
+		replayShards := st.RequestedShards
+		if replayShards == 0 { // older gateway without the field
+			replayShards = st.Shards
+		}
+		ref, err := ltc.NewPlatform(in, algo, ltc.WithShards(replayShards), ltc.WithSeed(seed))
+		if err != nil {
+			return err
+		}
+		for _, w := range in.Workers {
+			if ref.Done() {
+				break
+			}
+			if _, err := ref.CheckIn(w); err != nil {
+				return err
+			}
+		}
+		if ref.Latency() != st.Latency {
+			return fmt.Errorf("HTTP-fed latency %d != in-process latency %d", st.Latency, ref.Latency())
+		}
+		fmt.Printf("in-process replay: latency=%d — matches the HTTP-fed run\n", ref.Latency())
+	}
+	fmt.Println("loadgen: PASS")
+	return nil
+}

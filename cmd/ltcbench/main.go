@@ -51,6 +51,13 @@ func main() {
 		churnShards  = flag.Int("churn-shards", 4, "shard count for -exp churn")
 		churnInitial = flag.Float64("churn-initial", 0, "initial task fraction for -exp churn (0 = default 0.6; rest posted online)")
 		churnTTL     = flag.Int("churn-ttl", 0, "task TTL in arrivals for -exp churn (0 = no expiry)")
+
+		url       = flag.String("url", "", "ltcd base URL for -exp loadgen (e.g. http://127.0.0.1:8080)")
+		lgBatch   = flag.Int("loadgen-batch", 0, "feed -exp loadgen through /checkin/batch chunks of this size (0/1 = per-call)")
+		lgConns   = flag.Int("loadgen-conns", 1, "concurrent connections for -exp loadgen (1 = sequential feed with in-process latency audit)")
+		baseline  = flag.String("baseline", "", "baseline throughput artifact for -exp benchdiff")
+		candidate = flag.String("candidate", "", "candidate throughput artifact for -exp benchdiff")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional workers/s regression for -exp benchdiff")
 	)
 	flag.Parse()
 
@@ -63,6 +70,8 @@ func main() {
 		fmt.Println("  table5            print the check-in dataset presets (Table V)")
 		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards, -batch, -async, -json)")
 		fmt.Println("  churn             dynamic task lifecycle: online posts + TTL expiry (-churn-*)")
+		fmt.Println("  loadgen           drive a running ltcd gateway end to end (-url, -loadgen-*)")
+		fmt.Println("  benchdiff         compare two throughput artifacts (-baseline, -candidate, -tolerance)")
 		return
 	}
 	if *expID == "" {
@@ -92,6 +101,23 @@ func main() {
 			}
 		}
 		if err := runChurn(*scale, *seed, *churnShards, *churnInitial, *churnTTL, churnAlgos); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "loadgen":
+		var algo string
+		if *algos != "" {
+			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
+		}
+		if err := runLoadgen(*url, *scale, *seed, algo, *lgBatch, *lgConns); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "benchdiff":
+		if *baseline == "" || *candidate == "" {
+			log.Fatal("benchdiff needs -baseline and -candidate artifact paths")
+		}
+		if err := runBenchDiff(*baseline, *candidate, *tolerance); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,131 @@
+// Command ltcd serves a live LTC Platform over HTTP — the service-grade
+// face of the reproduction. It generates a Table IV preset task set (or a
+// Table V city trace's tasks), binds the chosen online algorithm behind
+// the sharded dispatch layer, and exposes the v2 service API:
+//
+//	POST   /checkin        check one worker in            → Receipt
+//	POST   /checkin/batch  check a worker batch in        → receipts + done
+//	POST   /tasks          post a task mid-stream         → global TaskID
+//	DELETE /tasks/{id}     retire a task
+//	GET    /stats          progress / latency snapshot
+//	GET    /events         Server-Sent Events stream (task_posted,
+//	                       task_retired, task_completed, platform_done)
+//
+// Examples:
+//
+//	ltcd                                  # AAM over Table IV @1%, :8080
+//	ltcd -scale 0.05 -shards 8 -algo LAF -addr 127.0.0.1:9000
+//	ltcd -city newyork -scale 0.005
+//
+// Drive it end to end with the bundled load generator:
+//
+//	go run ./cmd/ltcbench -exp loadgen -url http://127.0.0.1:8080 -scale 0.01
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ltc"
+	"ltc/internal/httpapi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltcd: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		algoName = flag.String("algo", "AAM", "online algorithm: LAF, AAM or Random")
+		shards   = flag.Int("shards", 0, "spatial shard count (0 = GOMAXPROCS)")
+		scale    = flag.Float64("scale", 0.01, "workload scale factor")
+		seed     = flag.Uint64("seed", 42, "generation seed (also drives Random)")
+		epsilon  = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
+		k        = flag.Int("k", 6, "worker capacity K")
+		city     = flag.String("city", "", "serve a city trace's tasks instead: newyork or tokyo")
+		queueCap = flag.Int("queue-cap", 0, "per-shard async queue capacity (0 = default)")
+		eventBuf = flag.Int("event-buffer", 0, "per-subscriber event buffer (0 = default)")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*city, *scale, *epsilon, *k, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Resolve the GOMAXPROCS default here so /stats can echo the exact
+	// count a client must request to mirror this platform's spatial grid.
+	requested := *shards
+	if requested == 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	plat, err := ltc.NewPlatform(in, ltc.Algorithm(*algoName),
+		ltc.WithShards(requested), ltc.WithSeed(*seed),
+		ltc.WithQueueCap(*queueCap), ltc.WithEventBuffer(*eventBuf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewHandler(plat, ltc.Algorithm(*algoName), requested)}
+
+	log.Printf("serving %s over %d tasks (%d shards, ε=%.2f, K=%d) on %s",
+		*algoName, len(in.Tasks), plat.Shards(), in.Epsilon, in.K, *addr)
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests (including open SSE streams, bounded by the timeout) finish.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		<-stop
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("final: latency=%d workers=%d done=%v", plat.Latency(), plat.WorkersSeen(), plat.Done())
+}
+
+// buildInstance generates the served task set: the synthetic Table IV
+// preset by default, or a Table V city trace. The generated worker stream
+// is discarded — workers arrive over the wire — but generating with the
+// same flags client-side reproduces it, which is how the loadgen drives
+// deterministic end-to-end runs.
+func buildInstance(city string, scale, epsilon float64, k int, seed uint64) (*ltc.Instance, error) {
+	switch city {
+	case "":
+		cfg := ltc.DefaultWorkload().Scale(scale)
+		cfg.Epsilon = epsilon
+		cfg.K = k
+		cfg.Seed = seed
+		return cfg.Generate()
+	case "newyork", "tokyo":
+		cfg := ltc.NewYork()
+		if city == "tokyo" {
+			cfg = ltc.Tokyo()
+		}
+		cfg = cfg.Scale(scale)
+		cfg.Epsilon = epsilon
+		cfg.K = k
+		cfg.Seed = seed
+		tr, err := ltc.GenerateCity(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Instance, nil
+	default:
+		return nil, fmt.Errorf("unknown city %q (want newyork or tokyo)", city)
+	}
+}

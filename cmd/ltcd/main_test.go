@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestBuildInstancePresets(t *testing.T) {
+	in, err := buildInstance("", 0.01, 0.14, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Tasks) == 0 || in.Epsilon != 0.14 || in.K != 4 {
+		t.Fatalf("synthetic instance: %d tasks, ε=%v, K=%d", len(in.Tasks), in.Epsilon, in.K)
+	}
+	city, err := buildInstance("newyork", 0.002, 0.10, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(city.Tasks) == 0 {
+		t.Fatal("city instance has no tasks")
+	}
+	if _, err := buildInstance("atlantis", 0.01, 0.10, 6, 9); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+}

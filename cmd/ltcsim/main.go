@@ -11,6 +11,7 @@
 //	ltcsim -shards 8     # also run the online algorithms sharded
 //	ltcsim -shards 8 -batch 64   # ...fed through CheckInBatch
 //	ltcsim -shards 8 -async      # ...fed through CheckInAsync + Flush
+//	ltcsim -shards 8 -events     # ...printing the completion stream live
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
 		batch   = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
 		async   = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
+		events  = flag.Bool("events", false, "with -shards: subscribe to the platform event stream and print completions live instead of polling")
 		churn   = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
 		ttl     = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
 	)
@@ -58,7 +60,7 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tkind\tlatency\tworkers used\truntime\talloc MB\tempirical err")
 	for _, algo := range ltc.Algorithms() {
-		res, err := ltc.Solve(in, algo, ltc.SolveOptions{Index: ci, Seed: *seed})
+		res, err := ltc.Solve(in, algo, ltc.WithIndex(ci), ltc.WithSeed(*seed))
 		if err != nil && !errors.Is(err, ltc.ErrIncomplete) {
 			log.Fatalf("%s: %v", algo, err)
 		}
@@ -81,7 +83,7 @@ func main() {
 	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
 
 	if *shards > 0 {
-		if err := runSharded(in, *shards, *seed, *batch, *async); err != nil {
+		if err := runSharded(in, *shards, *seed, *batch, *async, *events); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -124,7 +126,7 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 		if !algo.IsOnline() {
 			continue
 		}
-		rep, err := ltc.ReplayChurn(cw, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		rep, err := ltc.ReplayChurn(cw, algo, ltc.WithShards(shards), ltc.WithSeed(seed))
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
@@ -140,8 +142,10 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 // cost of spatial sharding made visible (see CONCURRENCY.md). The stream
 // is fed per-call by default, through CheckInBatch chunks with -batch, or
 // through CheckInAsync + Flush with -async (batched and async ingestion
-// change throughput, never the sequential-feed assignments).
-func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async bool) error {
+// change throughput, never the sequential-feed assignments). With -events
+// each platform's completion stream prints live from a Subscribe
+// subscription instead of being derived by polling.
+func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, events bool) error {
 	mode := "per-call"
 	if async {
 		mode = "async"
@@ -156,16 +160,24 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async bool
 		if !algo.IsOnline() {
 			continue
 		}
-		base, err := ltc.Solve(in, algo, ltc.SolveOptions{Seed: seed})
+		base, err := ltc.Solve(in, algo, ltc.WithSeed(seed))
 		if err != nil && !errors.Is(err, ltc.ErrIncomplete) {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
-		plat, err := ltc.NewPlatform(in, algo, ltc.PlatformOptions{Shards: shards, Seed: seed})
+		plat, err := ltc.NewPlatform(in, algo, ltc.WithShards(shards), ltc.WithSeed(seed),
+			ltc.WithEventBuffer(2*len(in.Tasks)+16))
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
+		var watcher *eventWatcher
+		if events {
+			watcher = watchEvents(algo, plat.Subscribe())
+		}
 		if err := feedPlatform(plat, in.Workers, batch, async); err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
+		}
+		if watcher != nil {
+			watcher.stop()
 		}
 		mark := ""
 		if !plat.Done() {
@@ -191,6 +203,43 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async bool
 		fmt.Println("(* run exhausted the worker stream before completing every task)")
 	}
 	return nil
+}
+
+// eventWatcher prints a platform's completion stream live from a
+// Subscribe subscription — the -events mode. stop closes the subscription
+// and waits for the printer to drain, so every event published before the
+// feed finished is printed before the summary table row.
+type eventWatcher struct {
+	sub  *ltc.Subscription
+	done chan struct{}
+}
+
+func watchEvents(algo ltc.Algorithm, sub *ltc.Subscription) *eventWatcher {
+	ew := &eventWatcher{sub: sub, done: make(chan struct{})}
+	go func() {
+		defer close(ew.done)
+		for e := range sub.Events() {
+			switch e.Kind {
+			case ltc.EventTaskCompleted:
+				fmt.Printf("  [%s] task %d completed by worker %d\n", algo, e.Task, e.Worker)
+			case ltc.EventPlatformDone:
+				fmt.Printf("  [%s] platform done\n", algo)
+			case ltc.EventTaskPosted:
+				fmt.Printf("  [%s] task %d posted at clock %d\n", algo, e.Task, e.PostIndex)
+			case ltc.EventTaskRetired:
+				fmt.Printf("  [%s] task %d retired\n", algo, e.Task)
+			}
+		}
+		if n := sub.Dropped(); n > 0 {
+			fmt.Printf("  [%s] %d events dropped (buffer too small)\n", algo, n)
+		}
+	}()
+	return ew
+}
+
+func (ew *eventWatcher) stop() {
+	ew.sub.Close()
+	<-ew.done
 }
 
 // feedPlatform replays the stream sequentially through the selected

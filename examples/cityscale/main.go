@@ -36,7 +36,7 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tkind\tlatency\truntime\talloc MB\tassignments")
 	for _, algo := range ltc.Algorithms() {
-		res, err := ltc.Solve(in, algo, ltc.SolveOptions{Index: ci, Seed: *seed})
+		res, err := ltc.Solve(in, algo, ltc.WithIndex(ci), ltc.WithSeed(*seed))
 		if err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}

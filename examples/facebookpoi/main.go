@@ -48,23 +48,29 @@ func streamWith(algo ltc.Algorithm) {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n--- streaming check-ins through %s ---\n", algo)
+	done, total := 0, len(in.Tasks)
 	for _, w := range in.Workers {
 		if sess.Done() {
 			break
 		}
-		assigned, err := sess.Arrive(w)
+		// The v2 receipt carries everything the check-in decided — the
+		// granted tasks, their credit, and which POIs just completed — so
+		// the loop never polls Progress.
+		receipt, err := sess.Arrive(w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if len(assigned) == 0 {
+		if len(receipt.Assignments) == 0 {
 			fmt.Printf("w%d checks in: no questions pushed\n", w.Index)
 			continue
 		}
-		names := make([]string, len(assigned))
-		for i, t := range assigned {
-			names[i] = poiNames[t]
+		names := make([]string, len(receipt.Assignments))
+		for i, g := range receipt.Assignments {
+			names[i] = poiNames[g.Task]
+			if g.Completed {
+				done++
+			}
 		}
-		done, total := sess.Progress()
 		fmt.Printf("w%d checks in: asked about %v (%d/%d POIs complete)\n",
 			w.Index, names, done, total)
 	}

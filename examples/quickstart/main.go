@@ -37,6 +37,35 @@ func main() {
 	rep := ltc.VerifyQuality(in, res.Arrangement, 200, 1)
 	fmt.Printf("empirical error over %d trials: %.4f (ε = %.2f) — %s\n",
 		rep.Trials, rep.ErrorRate, in.Epsilon, verdict(rep.ErrorRate < in.Epsilon))
+
+	// The same run as a service: a Platform ingests check-ins and returns
+	// structured receipts, while a subscriber watches completions happen —
+	// no polling anywhere. (cmd/ltcd serves exactly this over HTTP.)
+	plat, err := ltc.NewPlatform(in, ltc.AAM, ltc.WithShards(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub := plat.Subscribe()
+	completions := 0
+	for _, w := range in.Workers {
+		receipt, err := plat.CheckIn(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if receipt.Done {
+			break
+		}
+	}
+	sub.Close()
+	var last ltc.Event
+	for e := range sub.Events() {
+		if e.Kind == ltc.EventTaskCompleted {
+			completions++
+			last = e
+		}
+	}
+	fmt.Printf("platform replay: %d completion events; last task %d completed by worker %d (latency %d)\n",
+		completions, last.Task, last.Worker, plat.Latency())
 }
 
 func verdict(ok bool) string {

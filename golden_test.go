@@ -91,10 +91,13 @@ func writeTraceFooter(b *bytes.Buffer, done bool, latency int, credits []float64
 }
 
 // renderTrace drives a worker stream through feed and renders the canonical
-// trace text. feed returns the assignments for one worker; done reports
-// completion; credits snapshots accumulated per-task credit.
+// trace text. feed returns one worker's check-in Receipt (the v2 API shape
+// shared by Session.Arrive and Platform.CheckIn); the rendered bytes use
+// only the granted TaskIDs, so the recorded fixtures predate — and pin —
+// the receipt redesign without re-recording. done reports completion;
+// credits snapshots accumulated per-task credit.
 func renderTrace(name string, algo Algorithm, in *Instance,
-	feed func(Worker) ([]TaskID, error), done func() bool, latency func() int,
+	feed func(Worker) (Receipt, error), done func() bool, latency func() int,
 	credits func() []float64) (string, error) {
 
 	var b bytes.Buffer
@@ -103,11 +106,14 @@ func renderTrace(name string, algo Algorithm, in *Instance,
 		if done() {
 			break
 		}
-		assigned, err := feed(w)
+		rec, err := feed(w)
 		if err != nil {
 			return "", fmt.Errorf("worker %d: %w", w.Index, err)
 		}
-		writeArrivalLine(&b, w.Index, assigned)
+		if rec.Worker != w.Index {
+			return "", fmt.Errorf("receipt echoes worker %d, fed %d", rec.Worker, w.Index)
+		}
+		writeArrivalLine(&b, w.Index, rec.Tasks())
 	}
 	writeTraceFooter(&b, done(), latency(), credits())
 	return b.String(), nil
@@ -166,8 +172,8 @@ func platformBatchTrace(t *testing.T, name string, algo Algorithm, in *Instance,
 		if err != nil && !errors.Is(err, ErrPlatformDone) {
 			t.Fatalf("batch at worker %d: %v", i+1, err)
 		}
-		for k, assigned := range res {
-			writeArrivalLine(&b, in.Workers[i+k].Index, assigned)
+		for _, rec := range res {
+			writeArrivalLine(&b, rec.Worker, rec.Tasks())
 		}
 	}
 	writeTraceFooter(&b, plat.Done(), plat.Latency(), plat.Credits(nil))

@@ -36,6 +36,21 @@ type Engine struct {
 	// load and one scratch buffer per run instead of per arrival).
 	batchAlgo BatchOnline
 	pq        *model.PinnedQuery
+	// outBuf is the reusable Outcome slice returned by Arrive (valid until
+	// the next call), keeping the per-arrival hot path allocation-free.
+	outBuf []Outcome
+}
+
+// Outcome is one assignment made by Arrive, with the bookkeeping a service
+// caller needs to build a check-in receipt without re-polling: the task,
+// the Acc* credit the assignment contributed, and whether it pushed the
+// task over its quality threshold δ. The paper's solvers never assign a
+// completed task, so Completed marks exactly the assignment that finished
+// each task.
+type Outcome struct {
+	Task      model.TaskID
+	Credit    float64
+	Completed bool
 }
 
 // NewEngine builds an engine around a fresh solver from factory. The
@@ -52,6 +67,9 @@ func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 		lastUsed:    make([]int, len(in.Tasks)),
 		retiredMask: make([]bool, len(in.Tasks)),
 		pq:          ci.NewPinnedQuery(),
+		// A worker receives at most K assignments, so the outcome buffer
+		// never regrows after this.
+		outBuf: make([]Outcome, 0, in.K),
 	}
 	e.batchAlgo, _ = e.algo.(BatchOnline)
 	return e
@@ -79,31 +97,35 @@ func (e *Engine) EndBatch() {
 }
 
 // Arrive offers the next worker to the solver, records its assignments (with
-// their Acc* credit) in the arrangement, and returns the assigned task IDs.
-// The returned slice is owned by the solver and only valid until the next
-// call. Index discipline is the caller's job: Session enforces consecutive
-// indices starting at 1, while the dispatch layer feeds each shard a sparse
-// subsequence of global indices (the solvers never read Worker.Index, and
-// the arrangement only takes a max over it).
-func (e *Engine) Arrive(w model.Worker) []model.TaskID {
+// their Acc* credit) in the arrangement, and returns one Outcome per
+// assignment. The returned slice is a reusable engine buffer, valid only
+// until the next call. Index discipline is the caller's job: Session
+// enforces consecutive indices starting at 1, while the dispatch layer
+// feeds each shard a sparse subsequence of global indices (the solvers
+// never read Worker.Index, and the arrangement only takes a max over it).
+func (e *Engine) Arrive(w model.Worker) []Outcome {
 	var out []model.TaskID
 	if e.batchAlgo != nil && e.pq.Pinned() {
 		out = e.batchAlgo.ArriveVia(w, e.pq)
 	} else {
 		out = e.algo.Arrive(w)
 	}
+	e.outBuf = e.outBuf[:0]
 	for _, t := range out {
 		acc := e.in.Model.Predict(w, e.in.Tasks[t])
+		credit := model.AccStar(acc)
 		was := model.Completed(e.arr.Accumulated[t], e.delta)
-		e.arr.Add(w.Index, t, model.AccStar(acc))
-		if !was && model.Completed(e.arr.Accumulated[t], e.delta) {
+		e.arr.Add(w.Index, t, credit)
+		completed := !was && model.Completed(e.arr.Accumulated[t], e.delta)
+		if completed {
 			e.completed++
 		}
 		if w.Index > e.lastUsed[t] {
 			e.lastUsed[t] = w.Index
 		}
+		e.outBuf = append(e.outBuf, Outcome{Task: t, Credit: credit, Completed: completed})
 	}
-	return out
+	return e.outBuf
 }
 
 // PostTask extends the engine — its candidate index and its solver — with a

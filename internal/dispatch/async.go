@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,9 +44,27 @@ func newShardQueue(capacity int) *shardQueue {
 // also when the block is interrupted by a concurrent Close. Workers
 // enqueued after the platform completed are ingested as bounced arrivals,
 // mirroring CheckIn's ErrDone accounting. Safe for concurrent use.
+//
+// CheckInAsync cannot be cancelled while blocked; use CheckInAsyncCtx when
+// the enqueue must respect a deadline or cancellation.
 func (d *Dispatcher) CheckInAsync(w model.Worker) error {
+	return d.CheckInAsyncCtx(context.Background(), w)
+}
+
+// CheckInAsyncCtx is CheckInAsync with cancellable backpressure: while the
+// shard's queue is full the call blocks until a slot frees, the dispatcher
+// closes (ErrClosed), or ctx is done — in which case the worker is NOT
+// enqueued and ctx.Err() is returned. A context that is already done fails
+// the call before anything is queued. Cancellation never loses an accepted
+// worker: a nil error means the worker is queued and a later Flush will
+// observe it; a non-nil error means the platform never saw it. Safe for
+// concurrent use.
+func (d *Dispatcher) CheckInAsyncCtx(ctx context.Context, w model.Worker) error {
 	if w.Index < 1 {
 		return fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if d.closed.Load() {
 		return ErrClosed
@@ -54,13 +73,30 @@ func (d *Dispatcher) CheckInAsync(w model.Worker) error {
 	q := d.queues[d.part.Locate(w.Loc)]
 	d.pending.Add(1)
 	q.mu.Lock()
-	for len(q.buf) >= q.cap && !d.closed.Load() {
+	if len(q.buf) >= q.cap && ctx.Done() != nil {
+		// About to block with a cancellable context: arrange for the wait
+		// below to wake when ctx fires. The callback takes the queue mutex,
+		// so it cannot run to completion before Wait releases it — no lost
+		// wakeup. The common non-blocking enqueue never pays for this.
+		stop := context.AfterFunc(ctx, func() {
+			q.mu.Lock()
+			q.notFull.Broadcast()
+			q.mu.Unlock()
+		})
+		defer stop()
+	}
+	for len(q.buf) >= q.cap && !d.closed.Load() && ctx.Err() == nil {
 		q.notFull.Wait()
 	}
 	if d.closed.Load() {
 		q.mu.Unlock()
 		d.retirePending(1)
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		q.mu.Unlock()
+		d.retirePending(1)
+		return err
 	}
 	q.buf = append(q.buf, w)
 	q.notEmpty.Signal()

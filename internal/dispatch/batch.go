@@ -3,6 +3,7 @@ package dispatch
 import (
 	"fmt"
 
+	"ltc/internal/events"
 	"ltc/internal/model"
 )
 
@@ -15,23 +16,23 @@ import (
 // task statuses to feeding the same stream through CheckIn one by one —
 // the golden-trace suite pins this equivalence against Session.
 //
-// out[i] holds the global TaskIDs assigned to ws[i] (possibly none). When
-// the platform completes mid-batch, ingestion stops: out is truncated to
-// the ingested prefix (the worker completing the last task is its final
-// entry), ErrDone is returned, and the remaining workers are not observed
-// at all — they tick no arrival clock and count no arrival, so they can be
-// re-presented after a PostTask revives the platform. A platform already
-// complete at call time returns an empty out and ErrDone. A worker with a
-// non-positive index fails the whole batch upfront with ErrBadWorkerIndex;
-// an empty batch is a no-op. Safe for concurrent use alongside every other
-// dispatcher method.
-func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([][]model.TaskID, error) {
+// out[i] is ws[i]'s Receipt, exactly as per-call CheckIn would have
+// returned it. When the platform completes mid-batch, ingestion stops: out
+// is truncated to the ingested prefix (the worker completing the last task
+// is its final entry), ErrDone is returned, and the remaining workers are
+// not observed at all — they tick no arrival clock and count no arrival,
+// so they can be re-presented after a PostTask revives the platform. A
+// platform already complete at call time returns an empty out and ErrDone.
+// A worker with a non-positive index fails the whole batch upfront with
+// ErrBadWorkerIndex; an empty batch is a no-op. Safe for concurrent use
+// alongside every other dispatcher method.
+func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([]Receipt, error) {
 	for i, w := range ws {
 		if w.Index < 1 {
 			return nil, fmt.Errorf("%w: got %d at batch position %d", ErrBadWorkerIndex, w.Index, i)
 		}
 	}
-	out := make([][]model.TaskID, 0, len(ws))
+	out := make([]Receipt, 0, len(ws))
 	for i := 0; i < len(ws); {
 		if d.Done() {
 			return out, ErrDone
@@ -43,8 +44,8 @@ func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([][]model.TaskID, error) {
 		}
 		base := len(out)
 		out = out[:base+j-i]
-		consumed := d.ingestRun(si, ws[i:j], true, func(k int, assigned []model.TaskID) {
-			out[base+k] = append([]model.TaskID(nil), assigned...)
+		consumed := d.ingestRun(si, ws[i:j], true, func(k int, r Receipt) {
+			out[base+k] = r
 		})
 		out = out[:base+consumed]
 		if consumed < j-i {
@@ -69,17 +70,27 @@ func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([][]model.TaskID, error) {
 // check-ins racing a momentarily-complete platform (the async contract).
 //
 // sink, when non-nil, is invoked once per consumed worker, in run order,
-// with the worker's position and its assignments as global TaskIDs; the
-// slice is scratch, valid only during the call (nil when the worker was
-// bounced or got no assignment). Global state other threads read mid-run —
-// the arrival clock anchoring PostTask indices and the live-task countdown
-// behind Done — is updated per worker, so a long run never publishes stale
-// values; pure outputs (latency watermarks, the arrival total) fold in
-// once per run.
-func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink func(i int, assigned []model.TaskID)) (consumed int) {
+// with the worker's position and its Receipt; the Receipt's Assignments
+// slice is freshly allocated and caller-owned. The async drainers pass a
+// nil sink and skip the per-worker grant allocation entirely. Global state
+// other threads read mid-run — the arrival clock anchoring PostTask
+// indices and the live-task countdown behind Done — is updated per worker,
+// so a long run never publishes stale values; pure outputs (latency
+// watermarks, the arrival total) fold in once per run, and lifecycle
+// events collected during the run are published after the shard mutex is
+// released.
+func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink func(i int, r Receipt)) (consumed int) {
 	s := d.shards[si]
-	var gout []model.TaskID
 	runMaxUsed, runMaxRel := 0, 0
+	// completions collects the run's TaskCompleted events while the shard
+	// is locked; publication waits for the unlock. Collected whether or not
+	// anyone subscribes (a task completes once ever, so the appends are
+	// negligible): gating collection on a start-of-run Active() snapshot
+	// would let a subscriber attaching mid-run observe the run's
+	// PlatformDone without its completions — a silent exactly-once
+	// violation Publish's own per-event gate cannot cause.
+	var completions []events.Event
+	platformDone := false
 	s.mu.Lock()
 	s.eng.BeginBatch()
 	for i := range run {
@@ -92,33 +103,43 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink f
 		atomicMax(&d.maxSeen, int64(w.Index))
 		if s.eng.Done() {
 			// The shard has no open tasks: the worker is consumed as a
-			// bounced arrival (CheckIn's nil result).
+			// bounced arrival (CheckIn's empty receipt).
 			if sink != nil {
-				sink(i, nil)
+				sink(i, Receipt{Worker: w.Index, Shard: si, Done: d.Done()})
 			}
 			continue
 		}
 		s.offered++
-		before, _ := s.eng.Progress()
-		assigned := s.eng.Arrive(w)
-		gout = gout[:0]
-		for _, t := range assigned {
-			gout = append(gout, s.sub.Global[t])
-			if rel := w.Index - s.eng.TaskPostIndex(t); rel > runMaxRel {
+		outcomes := s.eng.Arrive(w)
+		var grants []TaskGrant
+		if sink != nil && len(outcomes) > 0 {
+			grants = make([]TaskGrant, len(outcomes))
+		}
+		completedDelta := 0
+		for k, oc := range outcomes {
+			gid := s.sub.Global[oc.Task]
+			if oc.Completed {
+				completedDelta++
+				completions = append(completions, events.Event{Kind: events.TaskCompleted, Task: gid, Worker: w.Index})
+			}
+			if rel := w.Index - s.eng.TaskPostIndex(oc.Task); rel > runMaxRel {
 				runMaxRel = rel
 			}
+			if grants != nil {
+				grants[k] = TaskGrant{Task: gid, Credit: oc.Credit, Completed: oc.Completed}
+			}
 		}
-		if len(assigned) > 0 {
+		if len(outcomes) > 0 {
 			s.workers[w.Index] = w
 			if w.Index > runMaxUsed {
 				runMaxUsed = w.Index
 			}
 		}
-		if after, _ := s.eng.Progress(); after > before {
-			d.remaining.Add(int64(-(after - before)))
+		if completedDelta > 0 && d.remaining.Add(int64(-completedDelta)) == 0 {
+			platformDone = true
 		}
 		if sink != nil {
-			sink(i, gout)
+			sink(i, Receipt{Worker: w.Index, Shard: si, Assignments: grants, Done: d.Done()})
 		}
 	}
 	s.eng.EndBatch()
@@ -128,5 +149,11 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink f
 	}
 	s.mu.Unlock()
 	d.arrived.Add(int64(consumed))
+	for _, e := range completions {
+		d.bus.Publish(e)
+	}
+	if platformDone {
+		d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
+	}
 	return consumed
 }

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"ltc/internal/geo"
@@ -9,28 +10,28 @@ import (
 )
 
 // feedSequential replays the stream through per-call CheckIn with the
-// standard done-precheck loop, returning each fed worker's assignments.
-func feedSequential(t *testing.T, d *Dispatcher, ws []model.Worker) [][]model.TaskID {
+// standard done-precheck loop, returning each fed worker's receipt.
+func feedSequential(t *testing.T, d *Dispatcher, ws []model.Worker) []Receipt {
 	t.Helper()
-	var out [][]model.TaskID
+	var out []Receipt
 	for _, w := range ws {
 		if d.Done() {
 			break
 		}
-		assigned, err := d.CheckIn(w)
+		rec, err := d.CheckIn(w)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out = append(out, assigned)
+		out = append(out, rec)
 	}
 	return out
 }
 
 // feedBatched replays the stream through CheckInBatch in chunks of size b,
 // stopping at the truncation signal.
-func feedBatched(t *testing.T, d *Dispatcher, ws []model.Worker, b int) [][]model.TaskID {
+func feedBatched(t *testing.T, d *Dispatcher, ws []model.Worker, b int) []Receipt {
 	t.Helper()
-	var out [][]model.TaskID
+	var out []Receipt
 	for i := 0; i < len(ws); i += b {
 		j := i + b
 		if j > len(ws) {
@@ -46,6 +47,29 @@ func feedBatched(t *testing.T, d *Dispatcher, ws []model.Worker, b int) [][]mode
 		}
 	}
 	return out
+}
+
+// requireSameReceipts asserts two sequential replays produced identical
+// receipts: same echoed worker, shard, done flag and per-assignment grants.
+func requireSameReceipts(t *testing.T, label string, want, got []Receipt) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: fed %d workers, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Worker != g.Worker || w.Shard != g.Shard || w.Done != g.Done {
+			t.Fatalf("%s: receipt %d = %+v, want %+v", label, i, g, w)
+		}
+		if len(w.Assignments) != len(g.Assignments) {
+			t.Fatalf("%s: worker %d got %v, want %v", label, i+1, g.Assignments, w.Assignments)
+		}
+		for k := range w.Assignments {
+			if w.Assignments[k] != g.Assignments[k] {
+				t.Fatalf("%s: worker %d grant %d = %+v, want %+v", label, i+1, k, g.Assignments[k], w.Assignments[k])
+			}
+		}
+	}
 }
 
 // requireSameState asserts two dispatchers fed equivalent streams agree on
@@ -111,19 +135,7 @@ func TestCheckInBatchMatchesSequential(t *testing.T) {
 				t.Fatal(err)
 			}
 			gotOut := feedBatched(t, d, in.Workers, b)
-			if len(gotOut) != len(wantOut) {
-				t.Fatalf("shards=%d b=%d: fed %d workers, want %d", shards, b, len(gotOut), len(wantOut))
-			}
-			for i := range wantOut {
-				if len(gotOut[i]) != len(wantOut[i]) {
-					t.Fatalf("shards=%d b=%d: worker %d got %v, want %v", shards, b, i+1, gotOut[i], wantOut[i])
-				}
-				for k := range wantOut[i] {
-					if gotOut[i][k] != wantOut[i][k] {
-						t.Fatalf("shards=%d b=%d: worker %d got %v, want %v", shards, b, i+1, gotOut[i], wantOut[i])
-					}
-				}
-			}
+			requireSameReceipts(t, fmt.Sprintf("shards=%d b=%d", shards, b), wantOut, gotOut)
 			requireSameState(t, base, d)
 		}
 	}

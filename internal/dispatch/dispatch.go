@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"ltc/internal/core"
+	"ltc/internal/events"
 	"ltc/internal/model"
 )
 
@@ -115,6 +116,12 @@ type Dispatcher struct {
 	regMu   sync.RWMutex
 	records []taskRecord
 
+	// bus fans lifecycle events out to Subscribe subscribers. Publishes
+	// always happen after shard mutexes and regMu are released — the bus's
+	// internal lock is a leaf that never nests inside the dispatch locks,
+	// so the lock order above is unchanged.
+	bus *events.Bus
+
 	// Async ingestion state (see async.go). queues is allocated in New;
 	// drainer goroutines start lazily on the first CheckInAsync.
 	opts      Options
@@ -150,7 +157,7 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	if err != nil {
 		return nil, err
 	}
-	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards()), opts: o}
+	d := &Dispatcher{part: part, shards: make([]*shard, part.NumShards()), opts: o, bus: events.NewBus()}
 	d.flushCond = sync.NewCond(&d.flushMu)
 	d.queues = make([]*shardQueue, part.NumShards())
 	for i := range d.queues {
@@ -177,18 +184,19 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 // count: empty spatial tiles collapse).
 func (d *Dispatcher) NumShards() int { return len(d.shards) }
 
-// CheckIn routes worker w to the shard owning its location and offers it to
-// that shard's solver. It returns the assigned tasks as global TaskIDs
-// (possibly none — also when the worker's shard has already completed all
-// its tasks), or ErrDone once the whole platform is complete. Safe for
-// concurrent use; only check-ins landing on the same shard serialize.
+// CheckIn routes worker w to the shard owning its location, offers it to
+// that shard's solver, and returns the check-in Receipt: the granted tasks
+// (as global TaskIDs, with per-assignment credit and completion), the
+// worker's shard, and the platform-done flag. It returns ErrDone (with a
+// bounced Receipt, Shard = -1) once the whole platform is complete. Safe
+// for concurrent use; only check-ins landing on the same shard serialize.
 //
 // w.Index is the worker's global arrival index and must be ≥ 1; concurrent
 // callers need not present indices in order — the solvers assign from
 // location and accuracy only, and latency is tracked as a max over indices.
-func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
+func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	if w.Index < 1 {
-		return nil, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
+		return Receipt{Shard: -1}, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
 	}
 	// Tick the arrival clock before anything can bounce the call: post
 	// indices (and therefore relative latency) anchor to the largest worker
@@ -198,48 +206,69 @@ func (d *Dispatcher) CheckIn(w model.Worker) ([]model.TaskID, error) {
 	atomicMax(&d.maxSeen, int64(w.Index))
 	if d.Done() {
 		d.arrived.Add(1)
-		return nil, ErrDone
+		return Receipt{Worker: w.Index, Shard: -1, Done: true}, ErrDone
 	}
 	// Semantically a batch run of length one, but kept as a dedicated
 	// allocation-lean body: routing ingestRun's sink through a closure costs
 	// the hottest per-call path two heap allocations per check-in.
 	// TestCheckInBatchMatchesSequential pins the two paths together.
-	s := d.shards[d.part.Locate(w.Loc)]
+	si := d.part.Locate(w.Loc)
+	s := d.shards[si]
 
 	s.mu.Lock()
 	s.routed++
 	if s.eng.Done() {
 		s.mu.Unlock()
 		d.arrived.Add(1)
-		return nil, nil
+		return Receipt{Worker: w.Index, Shard: si, Done: d.Done()}, nil
 	}
 	s.offered++
-	before, _ := s.eng.Progress()
-	assigned := s.eng.Arrive(w)
-	out := make([]model.TaskID, len(assigned))
-	maxRel := 0
-	for i, t := range assigned {
-		out[i] = s.sub.Global[t]
-		if rel := w.Index - s.eng.TaskPostIndex(t); rel > maxRel {
-			maxRel = rel
+	outcomes := s.eng.Arrive(w)
+	var grants []TaskGrant
+	maxRel, completedDelta := 0, 0
+	if len(outcomes) > 0 {
+		grants = make([]TaskGrant, len(outcomes))
+		for i, oc := range outcomes {
+			grants[i] = TaskGrant{Task: s.sub.Global[oc.Task], Credit: oc.Credit, Completed: oc.Completed}
+			if oc.Completed {
+				completedDelta++
+			}
+			if rel := w.Index - s.eng.TaskPostIndex(oc.Task); rel > maxRel {
+				maxRel = rel
+			}
 		}
-	}
-	if len(assigned) > 0 {
 		s.workers[w.Index] = w
 	}
-	after, _ := s.eng.Progress()
 	s.mu.Unlock()
 
 	d.arrived.Add(1)
-	if len(assigned) > 0 {
+	if len(outcomes) > 0 {
 		atomicMax(&d.maxUsed, int64(w.Index))
 		atomicMax(&d.maxRel, int64(maxRel))
 	}
-	if done := after - before; done > 0 {
-		d.remaining.Add(int64(-done))
+	done := false
+	if completedDelta > 0 {
+		done = d.remaining.Add(int64(-completedDelta)) == 0
+		for _, g := range grants {
+			if g.Completed {
+				d.bus.Publish(events.Event{Kind: events.TaskCompleted, Task: g.Task, Worker: w.Index})
+			}
+		}
+		if done {
+			d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
+		}
+	} else {
+		done = d.Done()
 	}
-	return out, nil
+	return Receipt{Worker: w.Index, Shard: si, Assignments: grants, Done: done}, nil
 }
+
+// Subscribe registers a platform-event subscriber with a buffer of the
+// given capacity (values < 1 are raised to 1). Events are published after
+// the emitting call's shard mutex (and, for PostTask, regMu) is released,
+// so the bus never extends the dispatch lock order; see CONCURRENCY.md for
+// the ordering and drop contract.
+func (d *Dispatcher) Subscribe(buf int) *events.Subscription { return d.bus.Subscribe(buf) }
 
 // atomicMax raises v to at least x.
 func atomicMax(v *atomic.Int64, x int64) {
@@ -261,7 +290,6 @@ func atomicMax(v *atomic.Int64, x int64) {
 // posts serialize among themselves and with RetireTask.
 func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
 	d.regMu.Lock()
-	defer d.regMu.Unlock()
 	gid := model.TaskID(len(d.records))
 	si := d.part.Locate(t.Loc)
 	s := d.shards[si]
@@ -285,10 +313,17 @@ func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
 	}
 	s.mu.Unlock()
 	if err != nil {
+		d.regMu.Unlock()
 		return 0, err
 	}
 
 	d.records = append(d.records, taskRecord{shard: int32(si), local: local.ID})
+	d.regMu.Unlock()
+	// Published after regMu is released (the bus lock never nests inside
+	// dispatch locks). A worker racing this post can therefore complete the
+	// task and publish its TaskCompleted before TaskPosted lands on the bus
+	// — see the ordering contract in CONCURRENCY.md.
+	d.bus.Publish(events.Event{Kind: events.TaskPosted, Task: gid, PostIndex: post})
 	return gid, nil
 }
 
@@ -308,13 +343,21 @@ func (d *Dispatcher) RetireTask(id model.TaskID) error {
 
 	s := d.shards[rec.shard]
 	s.mu.Lock()
+	already := s.eng.TaskRetired(rec.local)
 	wasOpen, err := s.eng.RetireTask(rec.local)
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	platformDone := false
 	if wasOpen {
-		d.remaining.Add(-1)
+		platformDone = d.remaining.Add(-1) == 0
+	}
+	if !already {
+		d.bus.Publish(events.Event{Kind: events.TaskRetired, Task: id})
+	}
+	if platformDone {
+		d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
 	}
 	return nil
 }

@@ -1,0 +1,154 @@
+// Package events is the platform's publish/subscribe layer: the dispatch
+// layer publishes task-lifecycle events (posted, retired, completed,
+// platform-done) into a Bus, and any number of subscribers consume them
+// through bounded buffered channels. The bus never blocks a publisher — a
+// subscriber that falls behind loses events (counted per subscription)
+// instead of stalling the check-in hot path. See CONCURRENCY.md ("Event
+// subscriptions") for the ordering and drop contract.
+package events
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ltc/internal/model"
+)
+
+// Kind discriminates platform events.
+type Kind uint8
+
+// The platform event kinds.
+const (
+	// TaskPosted fires when PostTask adds a task mid-stream. Task is the
+	// new global TaskID, PostIndex its arrival-clock anchor.
+	TaskPosted Kind = iota + 1
+	// TaskRetired fires the first time a task is retired (including
+	// harmless retires of already-completed tasks, which still mark the
+	// task retired in TaskStatuses).
+	TaskRetired
+	// TaskCompleted fires when a task's accumulated credit reaches δ.
+	// Worker is the global index of the worker whose assignment completed
+	// it — the task's absolute latency. Every task completes at most once,
+	// so a subscriber that keeps up sees exactly one TaskCompleted per
+	// completed task.
+	TaskCompleted
+	// PlatformDone fires when the count of open tasks reaches zero. A
+	// later PostTask can revive the platform, so PlatformDone may fire
+	// again after further completions or retires.
+	PlatformDone
+)
+
+// String returns the kind's wire name, as served by the ltcd gateway.
+func (k Kind) String() string {
+	switch k {
+	case TaskPosted:
+		return "task_posted"
+	case TaskRetired:
+		return "task_retired"
+	case TaskCompleted:
+		return "task_completed"
+	case PlatformDone:
+		return "platform_done"
+	}
+	return "unknown"
+}
+
+// Event is one platform event. Seq is the bus-wide publication sequence
+// number (starting at 1, no gaps), identical across subscribers — two
+// subscribers that both receive an event agree on its Seq, and a gap in
+// the received sequence means the subscription dropped events in between.
+type Event struct {
+	Seq  uint64
+	Kind Kind
+	// Task is the subject task's global ID (-1 for PlatformDone).
+	Task model.TaskID
+	// Worker is the completing worker's global arrival index
+	// (TaskCompleted only, 0 otherwise).
+	Worker int
+	// PostIndex is the arrival clock at post time (TaskPosted only).
+	PostIndex int
+}
+
+// Bus fans published events out to subscribers. The zero value is not
+// ready; use NewBus. All methods are safe for concurrent use.
+type Bus struct {
+	// active mirrors len(subs) so Publish can bail without locking while
+	// nobody listens — the common case on the check-in hot path.
+	active atomic.Int64
+	mu     sync.Mutex
+	seq    uint64
+	subs   map[*Subscription]struct{}
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscription]struct{})}
+}
+
+// Active reports whether the bus currently has any subscribers. Publishing
+// to an inactive bus is a single atomic load.
+func (b *Bus) Active() bool { return b.active.Load() > 0 }
+
+// Publish assigns the event its sequence number and offers it to every
+// subscriber. It never blocks: a subscriber whose buffer is full loses the
+// event, and its Dropped counter advances instead.
+func (b *Bus) Publish(e Event) {
+	if !b.Active() {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	for s := range b.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber with a buffer of the given capacity
+// (values < 1 are raised to 1). Events published before Subscribe returns
+// are not delivered.
+func (b *Bus) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{bus: b, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.active.Store(int64(len(b.subs)))
+	b.mu.Unlock()
+	return s
+}
+
+// Subscription is one subscriber's bounded event feed.
+type Subscription struct {
+	bus     *Bus
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  bool // guarded by bus.mu
+}
+
+// Events returns the receive side of the subscription. The channel is
+// closed by Close; events already buffered remain readable after it.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events were lost because the subscription's
+// buffer was full at publish time.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the bus and closes its channel.
+// Safe to call more than once; buffered events stay readable.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		delete(s.bus.subs, s)
+		s.bus.active.Store(int64(len(s.bus.subs)))
+		close(s.ch)
+	}
+	s.bus.mu.Unlock()
+}

@@ -1,0 +1,157 @@
+package events
+
+import (
+	"sync"
+	"testing"
+
+	"ltc/internal/model"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		TaskPosted:    "task_posted",
+		TaskRetired:   "task_retired",
+		TaskCompleted: "task_completed",
+		PlatformDone:  "platform_done",
+		Kind(99):      "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestPublishWithoutSubscribersIsNoop(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("fresh bus active")
+	}
+	b.Publish(Event{Kind: TaskCompleted, Task: 1})
+	s := b.Subscribe(4)
+	defer s.Close()
+	select {
+	case e := <-s.Events():
+		t.Fatalf("pre-subscription event delivered: %+v", e)
+	default:
+	}
+}
+
+func TestSequencingAndFanout(t *testing.T) {
+	b := NewBus()
+	a, c := b.Subscribe(8), b.Subscribe(8)
+	b.Publish(Event{Kind: TaskCompleted, Task: 3, Worker: 12})
+	b.Publish(Event{Kind: PlatformDone, Task: -1})
+	a.Close()
+	c.Close()
+	for name, s := range map[string]*Subscription{"a": a, "c": c} {
+		var got []Event
+		for e := range s.Events() {
+			got = append(got, e)
+		}
+		if len(got) != 2 {
+			t.Fatalf("%s: %d events", name, len(got))
+		}
+		if got[0].Seq != 1 || got[1].Seq != 2 {
+			t.Fatalf("%s: seqs %d,%d", name, got[0].Seq, got[1].Seq)
+		}
+		if got[0].Kind != TaskCompleted || got[0].Task != 3 || got[0].Worker != 12 {
+			t.Fatalf("%s: event 0 = %+v", name, got[0])
+		}
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(1)
+	fast := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: TaskCompleted, Task: model.TaskID(i)})
+	}
+	if got := slow.Dropped(); got != 9 {
+		t.Fatalf("slow dropped %d, want 9", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast dropped %d, want 0", got)
+	}
+	fast.Close()
+	n := 0
+	for range fast.Events() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("fast received %d, want 10", n)
+	}
+	// The slow subscriber still holds the first event; later ones were
+	// dropped, so the received sequence has a gap.
+	slow.Close()
+	e, ok := <-slow.Events()
+	if !ok || e.Seq != 1 {
+		t.Fatalf("slow first event %+v ok=%v", e, ok)
+	}
+}
+
+func TestSubscribeBufferFloor(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(0)
+	defer s.Close()
+	b.Publish(Event{Kind: TaskPosted, Task: 7})
+	if e := <-s.Events(); e.Task != 7 {
+		t.Fatalf("event %+v", e)
+	}
+}
+
+func TestCloseIsIdempotentAndDetaches(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(2)
+	s.Close()
+	s.Close()
+	if b.Active() {
+		t.Fatal("bus active after last unsubscribe")
+	}
+	b.Publish(Event{Kind: TaskRetired, Task: 1}) // must not panic on closed channel
+	if _, ok := <-s.Events(); ok {
+		t.Fatal("event delivered after Close")
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	const publishers, each = 4, 200
+	sub := b.Subscribe(publishers * each)
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish(Event{Kind: TaskCompleted, Task: model.TaskID(p*each + i)})
+			}
+		}(p)
+	}
+	churn := make(chan struct{})
+	go func() { // subscriber churn concurrent with publishing
+		defer close(churn)
+		for i := 0; i < 50; i++ {
+			s := b.Subscribe(1)
+			s.Close()
+		}
+	}()
+	wg.Wait()
+	<-churn
+	sub.Close()
+	seen := make(map[model.TaskID]bool)
+	var lastSeq uint64
+	for e := range sub.Events() {
+		if e.Seq <= lastSeq {
+			t.Fatalf("seq not increasing: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if seen[e.Task] {
+			t.Fatalf("task %d delivered twice", e.Task)
+		}
+		seen[e.Task] = true
+	}
+	if len(seen) != publishers*each {
+		t.Fatalf("received %d events, want %d", len(seen), publishers*each)
+	}
+}

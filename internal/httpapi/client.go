@@ -1,0 +1,201 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed client for the ltcd gateway, used by the ltcbench
+// loadgen and the end-to-end tests. The zero HTTP client is replaced with
+// http.DefaultClient.
+type Client struct {
+	// Base is the gateway's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// doJSON runs one request with an optional JSON body and decodes the JSON
+// response into out (when non-nil). Non-2xx responses decode the error
+// body into a *httpError-backed error.
+func (c *Client) doJSON(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var he httpError
+		if json.NewDecoder(resp.Body).Decode(&he) == nil && he.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, he.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CheckIn posts one worker and returns its receipt.
+func (c *Client) CheckIn(w Worker) (Receipt, error) {
+	var rec Receipt
+	err := c.doJSON(http.MethodPost, "/checkin", w, &rec)
+	return rec, err
+}
+
+// CheckInBatch posts a batch; done reports whether the platform completed
+// (possibly truncating the receipts to the ingested prefix).
+func (c *Client) CheckInBatch(ws []Worker) (recs []Receipt, done bool, err error) {
+	var resp BatchResponse
+	if err := c.doJSON(http.MethodPost, "/checkin/batch", BatchRequest{Workers: ws}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Receipts, resp.Done, nil
+}
+
+// PostTask posts a new task at (x, y) and returns its global ID.
+func (c *Client) PostTask(x, y float64) (int, error) {
+	var resp TaskResponse
+	err := c.doJSON(http.MethodPost, "/tasks", TaskRequest{X: x, Y: y}, &resp)
+	return resp.ID, err
+}
+
+// RetireTask retires the task with the given ID.
+func (c *Client) RetireTask(id int) error {
+	return c.doJSON(http.MethodDelete, fmt.Sprintf("/tasks/%d", id), nil, nil)
+}
+
+// Stats fetches the platform's progress snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.doJSON(http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// EventStream is an open GET /events subscription. It is single-reader;
+// Close (or cancelling the OpenEvents context) ends it.
+type EventStream struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+// OpenEvents subscribes to the gateway's event stream. When it returns
+// without error the server-side subscription is live: every platform event
+// published afterwards will be delivered (the gateway subscribes before it
+// writes the response headers). Cancel ctx or call Close to end the
+// stream.
+func (c *Client) OpenEvents(ctx context.Context) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return nil, fmt.Errorf("GET /events: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &EventStream{resp: resp, sc: sc}, nil
+}
+
+// Next blocks for the next event. It returns io.EOF when the stream ends —
+// including via Close or context cancellation.
+func (s *EventStream) Next() (Event, error) {
+	var data string
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var e Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				return Event{}, fmt.Errorf("bad event frame %q: %w", data, err)
+			}
+			return e, nil
+		}
+	}
+	if err := s.sc.Err(); err != nil && !isClosedErr(err) {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// Close tears the subscription down.
+func (s *EventStream) Close() error { return s.resp.Body.Close() }
+
+// isClosedErr reports whether the scanner error is the expected result of
+// closing the stream (locally or via context cancellation).
+func isClosedErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		strings.Contains(err.Error(), "use of closed network connection") ||
+		strings.Contains(err.Error(), "http: read on closed response body")
+}
+
+// StreamEvents opens the event stream and invokes fn for every event until
+// the stream ends, ctx is cancelled, or fn returns a non-nil error —
+// ErrStopStreaming ends the stream cleanly (nil is returned), any other
+// error is passed through.
+func (c *Client) StreamEvents(ctx context.Context, fn func(Event) error) error {
+	st, err := c.OpenEvents(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // cancelled while connecting: the normal shutdown path
+		}
+		return err
+	}
+	defer func() { _ = st.Close() }()
+	for {
+		e, err := st.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(e); err != nil {
+			if err == ErrStopStreaming {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ErrStopStreaming, returned by a StreamEvents callback, ends the stream
+// without error.
+var ErrStopStreaming = errors.New("httpapi: stop streaming")

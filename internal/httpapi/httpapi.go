@@ -1,0 +1,318 @@
+// Package httpapi is the HTTP/JSON surface of the ltcd gateway: wire DTOs,
+// an http.Handler serving a live ltc.Platform, and a typed client used by
+// the ltcbench loadgen and the end-to-end tests.
+//
+// Routes (all JSON unless noted):
+//
+//	POST   /checkin        one Worker        → Receipt
+//	POST   /checkin/batch  {"workers":[…]}   → {"receipts":[…],"done":bool}
+//	POST   /tasks          {"x":…,"y":…}     → {"id":…}
+//	DELETE /tasks/{id}                       → 204 (404 for unknown IDs)
+//	GET    /stats                            → Stats
+//	GET    /events         Server-Sent Events: one frame per platform event
+//
+// A check-in bounced because the platform is complete is not an HTTP
+// error: it returns 200 with the bounced receipt ("done":true,
+// "bounced":true), matching ltc.ErrPlatformDone's in-process contract.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ltc"
+)
+
+// Worker is the wire form of ltc.Worker.
+type Worker struct {
+	Index int     `json:"index"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Acc   float64 `json:"acc"`
+}
+
+// Model converts to the in-process worker.
+func (w Worker) Model() ltc.Worker {
+	out := ltc.Worker{Index: w.Index, Acc: w.Acc}
+	out.Loc.X, out.Loc.Y = w.X, w.Y
+	return out
+}
+
+// FromWorker converts an in-process worker to its wire form.
+func FromWorker(w ltc.Worker) Worker {
+	return Worker{Index: w.Index, X: w.Loc.X, Y: w.Loc.Y, Acc: w.Acc}
+}
+
+// Grant is the wire form of ltc.TaskGrant.
+type Grant struct {
+	Task      int     `json:"task"`
+	Credit    float64 `json:"credit"`
+	Completed bool    `json:"completed"`
+}
+
+// Receipt is the wire form of ltc.Receipt, plus Bounced marking check-ins
+// refused with ErrPlatformDone (the worker was counted but not routed).
+type Receipt struct {
+	Worker      int     `json:"worker"`
+	Shard       int     `json:"shard"`
+	Assignments []Grant `json:"assignments,omitempty"`
+	Done        bool    `json:"done"`
+	Bounced     bool    `json:"bounced,omitempty"`
+}
+
+// FromReceipt converts an in-process receipt.
+func FromReceipt(r ltc.Receipt, bounced bool) Receipt {
+	out := Receipt{Worker: r.Worker, Shard: r.Shard, Done: r.Done, Bounced: bounced}
+	for _, g := range r.Assignments {
+		out.Assignments = append(out.Assignments, Grant{Task: int(g.Task), Credit: g.Credit, Completed: g.Completed})
+	}
+	return out
+}
+
+// BatchRequest is POST /checkin/batch's body.
+type BatchRequest struct {
+	Workers []Worker `json:"workers"`
+}
+
+// BatchResponse is POST /checkin/batch's result: the receipts of the
+// ingested prefix, and Done = true when the platform completed (possibly
+// mid-batch, leaving the tail unobserved — see ltc.Platform.CheckInBatch).
+type BatchResponse struct {
+	Receipts []Receipt `json:"receipts"`
+	Done     bool      `json:"done"`
+}
+
+// TaskRequest is POST /tasks's body (the new task's location).
+type TaskRequest struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TaskResponse is POST /tasks's result.
+type TaskResponse struct {
+	ID int `json:"id"`
+}
+
+// ShardStat is the wire form of ltc.ShardStats.
+type ShardStat struct {
+	Tasks     int `json:"tasks"`
+	Completed int `json:"completed"`
+	Retired   int `json:"retired"`
+	Workers   int `json:"workers"`
+	Offered   int `json:"offered"`
+	Latency   int `json:"latency"`
+}
+
+// Stats is GET /stats's result: the platform's full progress snapshot.
+// Shards is the effective shard count; RequestedShards echoes what the
+// gateway asked NewPlatform for (they differ when empty spatial tiles
+// collapsed), which is what a client must request to mirror the gateway's
+// spatial grid in-process.
+type Stats struct {
+	Algo            string      `json:"algo"`
+	Shards          int         `json:"shards"`
+	RequestedShards int         `json:"requested_shards"`
+	Tasks           int         `json:"tasks"`
+	Latency         int         `json:"latency"`
+	RelativeLatency int         `json:"relative_latency"`
+	WorkersSeen     int         `json:"workers_seen"`
+	Resolved        int         `json:"resolved"`
+	Total           int         `json:"total"`
+	Done            bool        `json:"done"`
+	ShardStats      []ShardStat `json:"shard_stats"`
+}
+
+// Event is the wire form of ltc.Event; Kind is the event kind's string
+// name (task_posted, task_retired, task_completed, platform_done), also
+// used as the SSE event name.
+type Event struct {
+	Seq       uint64 `json:"seq"`
+	Kind      string `json:"kind"`
+	Task      int    `json:"task"`
+	Worker    int    `json:"worker,omitempty"`
+	PostIndex int    `json:"post_index,omitempty"`
+}
+
+// FromEvent converts an in-process platform event.
+func FromEvent(e ltc.Event) Event {
+	return Event{Seq: e.Seq, Kind: e.Kind.String(), Task: int(e.Task), Worker: e.Worker, PostIndex: e.PostIndex}
+}
+
+// Server serves a live Platform over HTTP.
+type Server struct {
+	p         *ltc.Platform
+	algo      string
+	requested int
+	mux       *http.ServeMux
+}
+
+// NewHandler wraps the platform in the gateway's HTTP surface. algo and
+// requestedShards (the resolved shard count passed to NewPlatform — never
+// 0) are echoed in /stats so clients can mirror the run in-process.
+func NewHandler(p *ltc.Platform, algo ltc.Algorithm, requestedShards int) http.Handler {
+	s := &Server{p: p, algo: string(algo), requested: requestedShards, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /checkin", s.handleCheckIn)
+	s.mux.HandleFunc("POST /checkin/batch", s.handleCheckInBatch)
+	s.mux.HandleFunc("POST /tasks", s.handlePostTask)
+	s.mux.HandleFunc("DELETE /tasks/{id}", s.handleRetireTask)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	return s.mux
+}
+
+// writeJSON writes v with the given status; encoding errors at this point
+// can only mean a dead connection, so they are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError is the JSON error body for non-2xx responses.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
+	var body Worker
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker: %w", err))
+		return
+	}
+	rec, err := s.p.CheckIn(body.Model())
+	switch {
+	case errors.Is(err, ltc.ErrPlatformDone):
+		writeJSON(w, http.StatusOK, FromReceipt(rec, true))
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, FromReceipt(rec, false))
+	}
+}
+
+func (s *Server) handleCheckInBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
+		return
+	}
+	ws := make([]ltc.Worker, len(body.Workers))
+	for i, ww := range body.Workers {
+		ws[i] = ww.Model()
+	}
+	recs, err := s.p.CheckInBatch(ws)
+	resp := BatchResponse{Done: errors.Is(err, ltc.ErrPlatformDone)}
+	if err != nil && !resp.Done {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The platform can complete exactly on the batch's last worker, in
+	// which case CheckInBatch returns no error (nothing was truncated);
+	// the final receipt still carries the done flag the response promises.
+	if n := len(recs); n > 0 && recs[n-1].Done {
+		resp.Done = true
+	}
+	for _, rec := range recs {
+		resp.Receipts = append(resp.Receipts, FromReceipt(rec, false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePostTask(w http.ResponseWriter, r *http.Request) {
+	var body TaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad task: %w", err))
+		return
+	}
+	var task ltc.Task
+	task.Loc.X, task.Loc.Y = body.X, body.Y
+	id, err := s.p.PostTask(task)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TaskResponse{ID: int(id)})
+}
+
+func (s *Server) handleRetireTask(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad task id: %w", err))
+		return
+	}
+	if err := s.p.RetireTask(ltc.TaskID(id)); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resolved, total := s.p.Progress()
+	st := Stats{
+		Algo:            s.algo,
+		Shards:          s.p.Shards(),
+		RequestedShards: s.requested,
+		Latency:         s.p.Latency(),
+		RelativeLatency: s.p.RelativeLatency(),
+		WorkersSeen:     s.p.WorkersSeen(),
+		Resolved:        resolved,
+		Total:           total,
+		Done:            s.p.Done(),
+	}
+	for _, sh := range s.p.ShardStats() {
+		st.ShardStats = append(st.ShardStats, ShardStat{
+			Tasks: sh.Tasks, Completed: sh.Completed, Retired: sh.Retired,
+			Workers: sh.Workers, Offered: sh.Offered, Latency: sh.Latency,
+		})
+		st.Tasks += sh.Tasks
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the platform's event feed as Server-Sent Events:
+// one frame per event, named by the event kind, with the JSON Event as
+// data. The subscription starts at the first event published after the
+// request reaches the platform; a client that stops reading (or whose
+// buffer falls behind the stream) is dropped by the write path, never the
+// platform. The stream stays open after platform_done — a PostTask can
+// revive the run — until the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	sub := s.p.Subscribe()
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(FromEvent(e))
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

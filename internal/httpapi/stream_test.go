@@ -1,0 +1,111 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStreamEventsConvenience drives the callback wrapper over a real run:
+// events arrive in order and ErrStopStreaming ends the stream cleanly.
+func TestStreamEventsConvenience(t *testing.T) {
+	in, client, shutdown := newGateway(t, 0.01, 5, 1)
+	defer shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	observed := make(chan struct{})
+	var once sync.Once
+	finished := make(chan error, 1)
+	var completions int
+	go func() {
+		finished <- client.StreamEvents(ctx, func(e Event) error {
+			once.Do(func() { close(observed) })
+			switch e.Kind {
+			case "task_completed":
+				completions++
+			case "platform_done":
+				return ErrStopStreaming
+			}
+			return nil
+		})
+	}()
+	// StreamEvents gives no readiness signal (unlike OpenEvents), so ping
+	// with post/retire pairs until the subscriber observes one — the
+	// retired extras never block completion.
+	for {
+		id, err := client.PostTask(in.Tasks[0].Loc.X, in.Tasks[0].Loc.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.RetireTask(id); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-observed:
+		case <-time.After(10 * time.Millisecond):
+			continue
+		}
+		break
+	}
+	for _, w := range in.Workers {
+		rec, err := client.CheckIn(FromWorker(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Done {
+			break
+		}
+	}
+	if err := <-finished; err != nil {
+		t.Fatal(err)
+	}
+	if completions != len(in.Tasks) {
+		t.Fatalf("%d completions observed, want %d", completions, len(in.Tasks))
+	}
+
+	// A bad path value on DELETE /tasks is a 400, not a retire attempt.
+	resp, err := client.client().Get(client.Base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	req, err := http.NewRequest(http.MethodDelete, client.Base+"/tasks/notanumber", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := client.client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dresp.Body.Close()
+	if dresp.StatusCode != 400 {
+		t.Fatalf("bad retire id: HTTP %d", dresp.StatusCode)
+	}
+}
+
+// TestStreamEventsCancellation: cancelling the context ends StreamEvents
+// without error even while blocked on an idle stream.
+func TestStreamEventsCancellation(t *testing.T) {
+	_, client, shutdown := newGateway(t, 0.01, 5, 1)
+	defer shutdown()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- client.StreamEvents(ctx, func(Event) error { return nil })
+	}()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("cancelled stream err = %v", err)
+	}
+	// OpenEvents against a dead server fails cleanly.
+	bad := &Client{Base: "http://127.0.0.1:1"}
+	if _, err := bad.OpenEvents(context.Background()); err == nil {
+		t.Fatal("OpenEvents against nothing succeeded")
+	}
+	if _, err := bad.Stats(); err == nil {
+		t.Fatal("Stats against nothing succeeded")
+	}
+}

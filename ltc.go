@@ -19,10 +19,18 @@
 //   - Solve for one-shot runs, Session for single-threaded streaming use,
 //     and Platform for concurrent check-in streams over spatial shards —
 //     per call (CheckIn), batched (CheckInBatch) or asynchronous behind
-//     bounded per-shard queues (CheckInAsync/Flush); see CONCURRENCY.md;
+//     bounded per-shard queues (CheckInAsync/CheckInAsyncCtx/Flush); every
+//     check-in returns a structured Receipt, and Platform.Subscribe streams
+//     lifecycle events (task posted/retired/completed, platform done); see
+//     CONCURRENCY.md;
+//   - composable functional options (WithShards, WithSeed, WithQueueCap,
+//     WithIndex, …) accepted uniformly by Solve, NewSession, NewPlatform
+//     and ReplayChurn;
 //   - workload generators reproducing the paper's synthetic (Table IV) and
 //     Foursquare-style (Table V) datasets;
-//   - a voting simulator to verify completed tasks empirically meet ε.
+//   - a voting simulator to verify completed tasks empirically meet ε;
+//   - cmd/ltcd, an HTTP/JSON gateway serving a Platform over the wire
+//     (check-ins, task lifecycle, stats, and an SSE event stream).
 //
 // Quick start:
 //
@@ -129,6 +137,10 @@ var ErrUnknownAlgorithm = errors.New("ltc: unknown algorithm")
 var ErrIncomplete = core.ErrIncomplete
 
 // SolveOptions tunes Solve and NewSession.
+//
+// Deprecated: use the composable functional options (WithSeed, WithIndex,
+// WithBatchMultiplier, WithExactMaxNodes) instead. SolveOptions implements
+// Option, so existing call sites keep working.
 type SolveOptions struct {
 	// Seed drives the Random algorithm (ignored by the deterministic
 	// algorithms). Zero is a valid seed.
@@ -141,9 +153,9 @@ type SolveOptions struct {
 	ExactMaxNodes int64
 }
 
-func (o SolveOptions) index(in *Instance) *CandidateIndex {
-	if o.Index != nil {
-		return o.Index
+func (c config) indexFor(in *Instance) *CandidateIndex {
+	if c.index != nil {
+		return c.index
 	}
 	return model.NewCandidateIndex(in)
 }
@@ -151,24 +163,21 @@ func (o SolveOptions) index(in *Instance) *CandidateIndex {
 // Solve runs the chosen algorithm on the instance and returns its Result.
 // Online algorithms are fed the instance's workers in arrival order. A
 // Result with ErrIncomplete is returned when the workers run out first.
-func Solve(in *Instance, algo Algorithm, opts ...SolveOptions) (*Result, error) {
-	var o SolveOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
+func Solve(in *Instance, algo Algorithm, opts ...Option) (*Result, error) {
+	c := newConfig(opts)
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
-	ci := o.index(in)
+	ci := c.indexFor(in)
 	switch algo {
 	case MCFLTC:
-		return core.RunOffline(in, ci, &core.MCFLTC{BatchMultiplier: o.BatchMultiplier})
+		return core.RunOffline(in, ci, &core.MCFLTC{BatchMultiplier: c.batchMultiplier})
 	case BaseOff:
 		return core.RunOffline(in, ci, core.BaseOff{})
 	case Exact:
-		return core.RunOffline(in, ci, &core.Exact{MaxNodes: o.ExactMaxNodes})
+		return core.RunOffline(in, ci, &core.Exact{MaxNodes: c.exactMaxNodes})
 	case LAF, AAM, RandomAssign:
-		factory, err := onlineFactory(algo, o)
+		factory, err := onlineFactory(algo, c.seed)
 		if err != nil {
 			return nil, err
 		}
@@ -178,14 +187,14 @@ func Solve(in *Instance, algo Algorithm, opts ...SolveOptions) (*Result, error) 
 	}
 }
 
-func onlineFactory(algo Algorithm, o SolveOptions) (core.OnlineFactory, error) {
+func onlineFactory(algo Algorithm, seed uint64) (core.OnlineFactory, error) {
 	switch algo {
 	case LAF:
 		return func(in *Instance, ci *CandidateIndex) core.Online { return core.NewLAF(in, ci) }, nil
 	case AAM:
 		return func(in *Instance, ci *CandidateIndex) core.Online { return core.NewAAM(in, ci) }, nil
 	case RandomAssign:
-		return func(in *Instance, ci *CandidateIndex) core.Online { return core.NewRandom(in, ci, o.Seed) }, nil
+		return func(in *Instance, ci *CandidateIndex) core.Online { return core.NewRandom(in, ci, seed) }, nil
 	default:
 		return nil, fmt.Errorf("%w: %q is not an online algorithm", ErrUnknownAlgorithm, algo)
 	}
@@ -194,7 +203,7 @@ func onlineFactory(algo Algorithm, o SolveOptions) (core.OnlineFactory, error) {
 // SolveAll runs every evaluated algorithm and returns results keyed by
 // name, for quick comparisons. Incomplete runs are included with their
 // partial results.
-func SolveAll(in *Instance, opts ...SolveOptions) (map[Algorithm]*Result, error) {
+func SolveAll(in *Instance, opts ...Option) (map[Algorithm]*Result, error) {
 	out := make(map[Algorithm]*Result, 5)
 	for _, algo := range Algorithms() {
 		res, err := Solve(in, algo, opts...)

@@ -1,0 +1,128 @@
+package ltc
+
+// The v2 options system: every constructor and runner — Solve, SolveAll,
+// NewSession, NewPlatform, ReplayChurn — accepts the same composable
+// functional options, and each consumes the subset that applies to it
+// (WithShards tunes a Platform, WithBatchMultiplier the MCF-LTC solver;
+// irrelevant options are ignored, never an error). The v1 structs
+// SolveOptions and PlatformOptions implement Option themselves, so
+// existing call sites keep compiling unchanged.
+
+// Option configures Solve, NewSession, NewPlatform or ReplayChurn. Options
+// are applied in order, so a later option overrides an earlier one for the
+// same setting.
+type Option interface {
+	applyOption(*config)
+}
+
+// config is the merged view of every tunable the options can set. The zero
+// value is every setting's default.
+type config struct {
+	shards          int
+	seed            uint64
+	queueCap        int
+	maxDrain        int
+	eventBuffer     int
+	index           *CandidateIndex
+	batchMultiplier float64
+	exactMaxNodes   int64
+}
+
+// optionFunc adapts a plain function to the Option interface.
+type optionFunc func(*config)
+
+func (f optionFunc) applyOption(c *config) { f(c) }
+
+// newConfig folds the options, in order, over the default config.
+func newConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o.applyOption(&c)
+	}
+	return c
+}
+
+// WithShards sets the Platform's requested spatial shard count. 0 (the
+// default) uses GOMAXPROCS; negative counts are rejected by NewPlatform.
+// The effective count can be lower: empty spatial tiles collapse and
+// shards never outnumber tasks. Ignored by Solve and NewSession.
+func WithShards(n int) Option { return optionFunc(func(c *config) { c.shards = n }) }
+
+// WithSeed sets the seed driving the Random algorithm (per shard on a
+// Platform). The deterministic algorithms ignore it; zero is a valid seed.
+func WithSeed(seed uint64) Option { return optionFunc(func(c *config) { c.seed = seed }) }
+
+// WithQueueCap bounds each shard's CheckInAsync queue: enqueues block
+// (backpressure) while the owning shard's queue is full. 0 (the default)
+// uses the dispatch layer's DefaultQueueCap (1024); negative values are
+// rejected. Ignored outside NewPlatform and ReplayChurn.
+func WithQueueCap(n int) Option { return optionFunc(func(c *config) { c.queueCap = n }) }
+
+// WithMaxDrain caps how many queued workers a shard's async drainer
+// ingests under one mutex acquisition. 0 (the default) drains everything
+// queued; smaller values bound how long a drain run can make a concurrent
+// PostTask or RetireTask wait. Negative values are rejected. Ignored
+// outside NewPlatform and ReplayChurn.
+func WithMaxDrain(n int) Option { return optionFunc(func(c *config) { c.maxDrain = n }) }
+
+// WithEventBuffer sets the per-subscriber buffer capacity handed out by
+// Platform.Subscribe (default DefaultEventBuffer). A subscriber that lets
+// its buffer fill loses events instead of blocking check-ins; see the
+// event contract in CONCURRENCY.md. Values < 1 fall back to the default.
+func WithEventBuffer(n int) Option { return optionFunc(func(c *config) { c.eventBuffer = n }) }
+
+// WithIndex reuses a prebuilt candidate index (it must have been built for
+// the same instance). Solve and NewSession build one on demand; sharing an
+// index amortizes its construction across runs. Ignored by NewPlatform,
+// whose per-shard sub-instances always build their own.
+func WithIndex(ci *CandidateIndex) Option { return optionFunc(func(c *config) { c.index = ci }) }
+
+// WithBatchMultiplier scales MCF-LTC's batch size m (default 1.0). Only
+// the MCF-LTC algorithm reads it.
+func WithBatchMultiplier(m float64) Option {
+	return optionFunc(func(c *config) { c.batchMultiplier = m })
+}
+
+// WithExactMaxNodes bounds the Exact solver's branch-and-bound search
+// (default 5e6 nodes). Only the Exact algorithm reads it.
+func WithExactMaxNodes(n int64) Option {
+	return optionFunc(func(c *config) { c.exactMaxNodes = n })
+}
+
+// applyOption makes the v1 struct a valid Option: passing SolveOptions{…}
+// where an Option is expected keeps old call sites compiling. Only fields
+// set away from their zero value apply — zero already means "default" for
+// every field here — so a legacy struct composes with functional options
+// instead of silently resetting them mid-migration.
+func (o SolveOptions) applyOption(c *config) {
+	if o.Seed != 0 {
+		c.seed = o.Seed
+	}
+	if o.Index != nil {
+		c.index = o.Index
+	}
+	if o.BatchMultiplier != 0 {
+		c.batchMultiplier = o.BatchMultiplier
+	}
+	if o.ExactMaxNodes != 0 {
+		c.exactMaxNodes = o.ExactMaxNodes
+	}
+}
+
+// applyOption makes the v1 struct a valid Option: passing
+// PlatformOptions{…} where an Option is expected keeps old call sites
+// compiling. Non-zero fields only, as with SolveOptions.
+func (o PlatformOptions) applyOption(c *config) {
+	if o.Shards != 0 {
+		c.shards = o.Shards
+	}
+	if o.Seed != 0 {
+		c.seed = o.Seed
+	}
+	if o.QueueCap != 0 {
+		c.queueCap = o.QueueCap
+	}
+	if o.MaxDrain != 0 {
+		c.maxDrain = o.MaxDrain
+	}
+}

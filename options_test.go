@@ -1,0 +1,164 @@
+package ltc
+
+import (
+	"testing"
+)
+
+// TestFunctionalOptionsMatchLegacyStructs: the v1 structs and the v2
+// functional options must configure identical runs — the shim contract
+// that keeps old call sites both compiling and behaving.
+func TestFunctionalOptionsMatchLegacyStructs(t *testing.T) {
+	in := tinyInstance(t)
+	ci := NewCandidateIndex(in)
+
+	legacy, err := Solve(in, RandomAssign, SolveOptions{Seed: 99, Index: ci})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Solve(in, RandomAssign, WithSeed(99), WithIndex(ci))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Latency != v2.Latency || len(legacy.Arrangement.Pairs) != len(v2.Arrangement.Pairs) {
+		t.Fatalf("legacy latency %d vs v2 %d", legacy.Latency, v2.Latency)
+	}
+
+	feed := func(p *Platform) {
+		t.Helper()
+		for _, w := range in.Workers {
+			if p.Done() {
+				break
+			}
+			if _, err := p.CheckIn(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pLegacy, err := NewPlatform(in, RandomAssign, PlatformOptions{Shards: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pV2, err := NewPlatform(in, RandomAssign, WithShards(2), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(pLegacy)
+	feed(pV2)
+	if pLegacy.Latency() != pV2.Latency() || pLegacy.Shards() != pV2.Shards() {
+		t.Fatalf("legacy platform latency %d/%d shards vs v2 %d/%d",
+			pLegacy.Latency(), pLegacy.Shards(), pV2.Latency(), pV2.Shards())
+	}
+}
+
+// TestOptionsComposeAndOverride: options apply in order (last wins), and
+// every constructor accepts the same Option type — including ReplayChurn,
+// which took a positional struct in v1.
+func TestOptionsComposeAndOverride(t *testing.T) {
+	in := tinyInstance(t)
+	p, err := NewPlatform(in, AAM, WithShards(8), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 1 {
+		t.Fatalf("override: %d shards, want 1", p.Shards())
+	}
+	// A legacy struct composes with functional options: only its non-zero
+	// fields apply (zero means "default" everywhere), so it neither
+	// clobbers earlier options it doesn't mention nor survives a later
+	// override.
+	p2, err := NewPlatform(in, AAM, PlatformOptions{Shards: 4}, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Shards() != 2 {
+		t.Fatalf("struct-then-option: %d shards, want 2", p2.Shards())
+	}
+	p3, err := NewPlatform(in, AAM, WithShards(2), PlatformOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Shards() != 2 {
+		t.Fatalf("zero struct field clobbered an earlier option: %d shards, want 2", p3.Shards())
+	}
+
+	cc := DefaultChurn(DefaultWorkload().Scale(0.01))
+	cw, err := cc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayChurn(cw, LAF, WithShards(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The v1 positional-struct call shape still compiles and runs.
+	if _, err := ReplayChurn(cw, LAF, PlatformOptions{Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionsValidation: option values are validated where they land —
+// negative shard counts and queue capacities fail construction.
+func TestOptionsValidation(t *testing.T) {
+	in := tinyInstance(t)
+	if _, err := NewPlatform(in, AAM, WithShards(-1)); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if _, err := NewPlatform(in, AAM, WithQueueCap(-1)); err == nil {
+		t.Fatal("negative queue cap accepted")
+	}
+	if _, err := NewPlatform(in, AAM, WithMaxDrain(-1)); err == nil {
+		t.Fatal("negative max drain accepted")
+	}
+	// Session/Solve ignore platform-only options rather than erroring.
+	if _, err := NewSession(in, AAM, WithShards(-1), WithQueueCap(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(in, LAF, WithShards(64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveBatchMultiplierAndExactOptions keeps the solver-tuning options
+// reachable through the v2 surface.
+func TestSolveBatchMultiplierAndExactOptions(t *testing.T) {
+	in := tinyInstance(t)
+	res, err := Solve(in, MCFLTC, WithBatchMultiplier(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Arrangement.Validate(in, true); err != nil {
+		t.Fatal(err)
+	}
+	// A hopeless node budget must surface the Exact solver's failure.
+	if _, err := Solve(in, Exact, WithExactMaxNodes(1)); err == nil {
+		t.Fatal("1-node Exact budget succeeded")
+	}
+}
+
+// TestEventBufferOption: WithEventBuffer bounds Subscribe's buffer — a
+// 1-slot subscriber that never reads drops everything past the first
+// event.
+func TestEventBufferOption(t *testing.T) {
+	in := tinyInstance(t)
+	p, err := NewPlatform(in, AAM, WithShards(1), WithEventBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.Subscribe()
+	defer sub.Close()
+	for _, w := range in.Workers {
+		if p.Done() {
+			break
+		}
+		if _, err := p.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Done() {
+		t.Fatal("incomplete")
+	}
+	// len(in.Tasks) completions + 1 platform-done were published; the
+	// unread 1-slot buffer kept the first and dropped the rest.
+	if got, want := sub.Dropped(), uint64(len(in.Tasks)); got != want {
+		t.Fatalf("dropped %d events, want %d", got, want)
+	}
+}

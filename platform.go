@@ -1,10 +1,12 @@
 package ltc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"ltc/internal/dispatch"
+	"ltc/internal/events"
 )
 
 // Platform serves concurrent check-in streams: the task space is split into
@@ -14,6 +16,12 @@ import (
 // landing on disjoint shards proceed fully in parallel — the scalable
 // counterpart of the single-threaded Session.
 //
+// Every check-in returns a structured Receipt (granted tasks with
+// per-assignment credit and completion, the worker's shard, the
+// platform-done flag), and Subscribe delivers the platform's lifecycle
+// events (TaskPosted, TaskRetired, TaskCompleted, PlatformDone) as an
+// ordered stream — service callers never poll after a check-in.
+//
 // The task set is mutable while the platform runs: PostTask adds a task
 // mid-stream (it starts its δ-threshold accumulation from zero at its post
 // index) and RetireTask expires a stale one. Both are safe to call
@@ -21,11 +29,11 @@ import (
 // latency accounting of late-posted tasks.
 //
 // Arrivals can also be ingested in bulk: CheckInBatch processes a batch
-// with sequential semantics under amortized locking, and CheckInAsync
-// routes workers into per-shard bounded queues drained by background
-// goroutines, with Flush/Close as deterministic completion points — the
-// high-throughput path (see CONCURRENCY.md, "Batched and asynchronous
-// ingestion").
+// with sequential semantics under amortized locking, and CheckInAsync (or
+// the cancellable CheckInAsyncCtx) routes workers into per-shard bounded
+// queues drained by background goroutines, with Flush/Close as
+// deterministic completion points — the high-throughput path (see
+// CONCURRENCY.md, "Batched and asynchronous ingestion").
 //
 // With Shards = 1 a Platform fed workers sequentially in arrival order
 // produces exactly the Session's arrangement. With more shards each worker
@@ -33,7 +41,8 @@ import (
 // raises) the global latency; see CONCURRENCY.md for the shard model and
 // its latency semantics.
 type Platform struct {
-	d *dispatch.Dispatcher
+	d        *dispatch.Dispatcher
+	eventBuf int
 }
 
 // Platform errors.
@@ -45,7 +54,15 @@ var (
 	ErrPlatformClosed = dispatch.ErrClosed
 )
 
+// DefaultEventBuffer is the per-subscriber event buffer capacity used by
+// Subscribe when WithEventBuffer was not given.
+const DefaultEventBuffer = 256
+
 // PlatformOptions tunes NewPlatform.
+//
+// Deprecated: use the composable functional options (WithShards, WithSeed,
+// WithQueueCap, WithMaxDrain, WithEventBuffer) instead. PlatformOptions
+// implements Option, so existing call sites keep working.
 type PlatformOptions struct {
 	// Shards is the requested spatial shard count. 0 uses GOMAXPROCS;
 	// negative counts are rejected. The effective count can be lower: empty
@@ -72,63 +89,91 @@ type ShardStats = dispatch.ShardStats
 // worker, completion/retirement), re-exported from the dispatch layer.
 type TaskStatus = dispatch.TaskStatus
 
+// Platform event re-exports: Subscribe delivers these.
+type (
+	// Event is one platform lifecycle event (see the EventTask* kinds).
+	Event = events.Event
+	// EventKind discriminates platform events.
+	EventKind = events.Kind
+	// Subscription is one subscriber's bounded event feed.
+	Subscription = events.Subscription
+)
+
+// The platform event kinds delivered by Subscribe.
+const (
+	// EventTaskPosted fires when PostTask adds a task mid-stream.
+	EventTaskPosted = events.TaskPosted
+	// EventTaskRetired fires the first time a task is retired.
+	EventTaskRetired = events.TaskRetired
+	// EventTaskCompleted fires when a task reaches its quality threshold;
+	// Event.Worker is the completing worker — the task's absolute latency.
+	EventTaskCompleted = events.TaskCompleted
+	// EventPlatformDone fires when the count of open tasks reaches zero
+	// (again after every revival by PostTask).
+	EventPlatformDone = events.PlatformDone
+)
+
 // NewPlatform builds a sharded platform running the given online algorithm
 // in every shard. The instance's Workers slice may be empty — workers are
 // supplied via CheckIn — but Tasks, Epsilon, K, Model and MinAcc must be
 // set.
-func NewPlatform(in *Instance, algo Algorithm, opts ...PlatformOptions) (*Platform, error) {
-	var o PlatformOptions
-	if len(opts) > 0 {
-		o = opts[0]
+func NewPlatform(in *Instance, algo Algorithm, opts ...Option) (*Platform, error) {
+	c := newConfig(opts)
+	if c.shards < 0 {
+		return nil, fmt.Errorf("ltc: shard count must be ≥ 0, got %d", c.shards)
 	}
-	if o.Shards < 0 {
-		return nil, fmt.Errorf("ltc: shard count must be ≥ 0, got %d", o.Shards)
+	if c.shards == 0 {
+		c.shards = runtime.GOMAXPROCS(0)
 	}
-	if o.Shards == 0 {
-		o.Shards = runtime.GOMAXPROCS(0)
+	if c.eventBuffer < 1 {
+		c.eventBuffer = DefaultEventBuffer
 	}
 	if err := validateStreaming(in); err != nil {
 		return nil, err
 	}
-	factory, err := onlineFactory(algo, SolveOptions{Seed: o.Seed})
+	factory, err := onlineFactory(algo, c.seed)
 	if err != nil {
 		return nil, err
 	}
-	d, err := dispatch.New(in, o.Shards, factory, dispatch.Options{QueueCap: o.QueueCap, MaxDrain: o.MaxDrain})
+	d, err := dispatch.New(in, c.shards, factory, dispatch.Options{QueueCap: c.queueCap, MaxDrain: c.maxDrain})
 	if err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
-	return &Platform{d: d}, nil
+	return &Platform{d: d, eventBuf: c.eventBuffer}, nil
 }
 
-// CheckIn routes the worker to its spatial shard and returns the tasks
-// assigned to it, as TaskIDs of the platform's instance (possibly none). It
-// returns ErrPlatformDone once every task has completed. Safe for
-// concurrent use from any number of goroutines.
+// CheckIn routes the worker to its spatial shard and returns the check-in
+// Receipt: the tasks granted to it (with per-assignment quality credit and
+// a completion flag marking tasks this very check-in finished), the shard
+// it routed to, and whether the platform as a whole is done — so callers
+// never re-poll TaskStatuses or Progress after a check-in. It returns
+// ErrPlatformDone (with a bounced receipt) once every task has completed.
+// Safe for concurrent use from any number of goroutines; the returned
+// Receipt is caller-owned.
 //
 // The worker's Index is its global arrival index and must be ≥ 1; unlike
 // Session.Arrive, indices need not be presented in order — concurrent
 // streams cannot guarantee ordering, and assignment decisions depend only
 // on worker locations and accuracies, never on the index itself.
-func (p *Platform) CheckIn(w Worker) ([]TaskID, error) {
-	out, err := p.d.CheckIn(w)
+func (p *Platform) CheckIn(w Worker) (Receipt, error) {
+	r, err := p.d.CheckIn(w)
 	if err != nil {
-		return nil, fmt.Errorf("ltc: %w", err)
+		return r, fmt.Errorf("ltc: %w", err)
 	}
-	return out, nil
+	return r, nil
 }
 
 // CheckInBatch ingests a batch of workers with the exact semantics of
 // calling CheckIn for each in order, at a fraction of the per-call
 // overhead: consecutive workers landing on the same shard are processed
 // under a single shard-lock acquisition and a single candidate-index
-// snapshot. out[i] lists the tasks assigned to ws[i]. When the platform
-// completes mid-batch, out is truncated to the ingested prefix and
-// ErrPlatformDone is returned; the remaining workers are not observed and
-// may be re-presented after a PostTask revives the platform. A worker with
-// a non-positive index fails the whole batch upfront. Safe for concurrent
+// snapshot. out[i] is ws[i]'s Receipt. When the platform completes
+// mid-batch, out is truncated to the ingested prefix and ErrPlatformDone
+// is returned; the remaining workers are not observed and may be
+// re-presented after a PostTask revives the platform. A worker with a
+// non-positive index fails the whole batch upfront. Safe for concurrent
 // use; see CONCURRENCY.md for the batched ordering contract.
-func (p *Platform) CheckInBatch(ws []Worker) ([][]TaskID, error) {
+func (p *Platform) CheckInBatch(ws []Worker) ([]Receipt, error) {
 	out, err := p.d.CheckInBatch(ws)
 	if err != nil {
 		return out, fmt.Errorf("ltc: %w", err)
@@ -141,12 +186,29 @@ func (p *Platform) CheckInBatch(ws []Worker) ([][]TaskID, error) {
 // drainer per shard pops runs of queued workers and processes each run
 // under one shard-lock acquisition and one candidate-index snapshot, so
 // sustained streams ingest faster than per-call CheckIn. Assignments stay
-// observable through Arrangement, Credits and TaskStatuses; Flush gives the
-// deterministic completion point. The call blocks while the shard's queue
-// is full (backpressure) and returns ErrPlatformClosed after Close. Safe
-// for concurrent use.
+// observable through Arrangement, Credits, TaskStatuses and the Subscribe
+// event stream; Flush gives the deterministic completion point. The call
+// blocks while the shard's queue is full (backpressure) and returns
+// ErrPlatformClosed after Close; use CheckInAsyncCtx when the block must
+// be cancellable. Safe for concurrent use.
 func (p *Platform) CheckInAsync(w Worker) error {
 	if err := p.d.CheckInAsync(w); err != nil {
+		return fmt.Errorf("ltc: %w", err)
+	}
+	return nil
+}
+
+// CheckInAsyncCtx is CheckInAsync with cancellable backpressure: while the
+// worker's shard queue is full the call blocks until a slot frees, the
+// platform closes (ErrPlatformClosed), or ctx is done — in which case the
+// worker was NOT enqueued and ctx.Err() is returned. A nil error means the
+// worker is queued and a later Flush will observe it; any error means the
+// platform never saw it. Safe for concurrent use.
+func (p *Platform) CheckInAsyncCtx(ctx context.Context, w Worker) error {
+	if err := p.d.CheckInAsyncCtx(ctx, w); err != nil {
+		if err == ctx.Err() {
+			return err
+		}
 		return fmt.Errorf("ltc: %w", err)
 	}
 	return nil
@@ -161,9 +223,20 @@ func (p *Platform) Flush() { p.d.Flush() }
 // Close shuts the asynchronous ingestion path down: subsequent (and
 // blocked) CheckInAsync calls fail with ErrPlatformClosed, everything
 // already queued is ingested, and the drainers exit. Synchronous CheckIn,
-// CheckInBatch and the task lifecycle remain usable. Safe to call more
-// than once.
+// CheckInBatch, the task lifecycle and event subscriptions remain usable.
+// Safe to call more than once.
 func (p *Platform) Close() error { return p.d.Close() }
+
+// Subscribe registers a subscriber for the platform's lifecycle events —
+// EventTaskPosted, EventTaskRetired, EventTaskCompleted, EventPlatformDone
+// — delivered in publication order through a bounded buffered channel
+// (capacity WithEventBuffer, default DefaultEventBuffer). Publishing never
+// blocks a check-in: a subscriber that lets its buffer fill loses events
+// (Subscription.Dropped counts them), while one that keeps up receives
+// every event exactly once. Only events published after Subscribe returns
+// are delivered; call Subscription.Close to detach. See CONCURRENCY.md for
+// the full ordering and drop contract.
+func (p *Platform) Subscribe() *Subscription { return p.d.Subscribe(p.eventBuf) }
 
 // PostTask adds a task to the live platform and returns its global TaskID
 // (dense: initial tasks keep 0..n-1, posted tasks follow in post order).
@@ -207,9 +280,12 @@ func (p *Platform) Latency() int { return p.d.Latency() }
 // each task's wait from the moment it entered the system.
 func (p *Platform) RelativeLatency() int { return p.d.RelativeLatency() }
 
-// WorkersSeen reports how many check-ins have been received, including
-// ones bounced with ErrPlatformDone while the platform was momentarily
-// complete — every call with a valid index counts as an arrival.
+// WorkersSeen reports how many check-ins have been observed: every call
+// presenting a valid (positive) arrival index counts, including calls
+// bounced with ErrPlatformDone while the platform was momentarily
+// complete. Calls rejected for an invalid index are not observed. This is
+// the same contract as Session.WorkersSeen, pinned by
+// TestWorkersSeenContract.
 func (p *Platform) WorkersSeen() int { return p.d.Arrived() }
 
 // Shards reports the effective shard count.

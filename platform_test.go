@@ -37,12 +37,25 @@ func TestPlatformSingleShardMatchesSession(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(st) != len(pt) {
-				t.Fatalf("%s worker %d: session assigned %v, platform %v", algo, w.Index, st, pt)
+			// Receipts must agree bit for bit: same grants, credits and
+			// completion flags (Session's shard is always 0; the 1-shard
+			// platform routes everything to shard 0 too).
+			if st.Worker != w.Index || pt.Worker != w.Index {
+				t.Fatalf("%s worker %d: receipt workers %d vs %d", algo, w.Index, st.Worker, pt.Worker)
 			}
-			for i := range st {
-				if st[i] != pt[i] {
-					t.Fatalf("%s worker %d: assignment %d differs (%d vs %d)", algo, w.Index, i, st[i], pt[i])
+			if st.Shard != 0 || pt.Shard != 0 {
+				t.Fatalf("%s worker %d: shards %d vs %d", algo, w.Index, st.Shard, pt.Shard)
+			}
+			if st.Done != pt.Done {
+				t.Fatalf("%s worker %d: done %v vs %v", algo, w.Index, st.Done, pt.Done)
+			}
+			if len(st.Assignments) != len(pt.Assignments) {
+				t.Fatalf("%s worker %d: session assigned %v, platform %v", algo, w.Index, st.Assignments, pt.Assignments)
+			}
+			for i := range st.Assignments {
+				if st.Assignments[i] != pt.Assignments[i] {
+					t.Fatalf("%s worker %d: grant %d differs (%+v vs %+v)",
+						algo, w.Index, i, st.Assignments[i], pt.Assignments[i])
 				}
 			}
 		}

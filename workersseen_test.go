@@ -1,0 +1,93 @@
+package ltc
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWorkersSeenContract pins the shared WorkersSeen definition of Session
+// and Platform (the PR 4 satellite fixing their historically divergent
+// docs): every check-in presenting a valid arrival index is observed —
+// including ones bounced with ErrSessionDone/ErrPlatformDone while all
+// tasks were complete — and index-rejected calls are not. The same script
+// drives both APIs; their counts must agree step for step.
+func TestWorkersSeenContract(t *testing.T) {
+	in := tinyInstance(t)
+	sess, err := NewSession(in, AAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := NewPlatform(in, AAM, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string, want int) {
+		t.Helper()
+		if got := sess.WorkersSeen(); got != want {
+			t.Fatalf("%s: session WorkersSeen = %d, want %d", step, got, want)
+		}
+		if got := plat.WorkersSeen(); got != want {
+			t.Fatalf("%s: platform WorkersSeen = %d, want %d", step, got, want)
+		}
+	}
+	check("fresh", 0)
+
+	// An index-rejected call is not observed: out of order for the
+	// session, non-positive for the platform.
+	if _, err := sess.Arrive(in.Workers[5]); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order err = %v", err)
+	}
+	if _, err := plat.CheckIn(Worker{Index: 0}); err == nil {
+		t.Fatal("platform accepted index 0")
+	}
+	check("after rejected", 0)
+
+	// Feed until completion; every accepted arrival counts.
+	fed := 0
+	for _, w := range in.Workers {
+		if sess.Done() {
+			break
+		}
+		if _, err := sess.Arrive(w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plat.CheckIn(w); err != nil {
+			t.Fatal(err)
+		}
+		fed++
+		check("mid-stream", fed)
+	}
+	if !sess.Done() || !plat.Done() {
+		t.Fatal("stream exhausted before completion")
+	}
+
+	// Bounced arrivals — valid index, platform complete — are observed
+	// too: the contract both APIs now share.
+	next := in.Workers[fed]
+	if _, err := sess.Arrive(next); !errors.Is(err, ErrSessionDone) {
+		t.Fatalf("session bounce err = %v", err)
+	}
+	if _, err := plat.CheckIn(next); !errors.Is(err, ErrPlatformDone) {
+		t.Fatalf("platform bounce err = %v", err)
+	}
+	check("after bounce", fed+1)
+
+	// A session bounce consumes its index: replaying it is out of order
+	// and NOT counted, exactly like any other index rejection.
+	if _, err := sess.Arrive(next); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("replayed bounce err = %v", err)
+	}
+	if _, err := plat.CheckIn(Worker{Index: -3}); err == nil {
+		t.Fatal("platform accepted negative index")
+	}
+	check("after second rejection", fed+1)
+
+	// Bounced receipts carry the done flag for both APIs.
+	recS, _ := sess.Arrive(in.Workers[fed+1])
+	recP, _ := plat.CheckIn(in.Workers[fed+1])
+	if !recS.Done || !recP.Done {
+		t.Fatalf("bounced receipts not marked done: session %+v, platform %+v", recS, recP)
+	}
+	check("after receipt bounce", fed+2)
+}
