@@ -4,17 +4,41 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"text/tabwriter"
 )
+
+// cellKey identifies one artifact cell across PRs. The empty scenario and
+// "uniform" share a key: -exp throughput measures the uniform Table IV
+// instance, so its cells and -exp scenarios' uniform/striped cells are the
+// same measurement under two labels, and the benchdiff gate compares them
+// directly across artifact generations.
+func cellKey(r throughputResult) string {
+	k := fmt.Sprintf("%s/shards=%d/batch=%d", r.Mode, r.Shards, r.BatchSize)
+	if r.Scenario != "" && r.Scenario != "uniform" {
+		k = r.Scenario + "/" + k
+	}
+	if r.Balanced {
+		k += "/balanced"
+	}
+	return k
+}
 
 // runBenchDiff compares two committed throughput artifacts (see
 // throughputArtifact) cell by cell and fails — non-zero exit — when any
 // cell present in both regressed by more than tolerance (fractional, e.g.
 // 0.10): the CI benchmark-regression gate between BENCH_prN.json files.
 // Cells only in one artifact are reported but never fail the diff, so new
-// modes can be added without breaking the gate.
-func runBenchDiff(basePath, candPath string, tolerance float64) error {
+// modes and scenarios can be added without breaking the gate.
+//
+// hotspotGain > 0 additionally asserts the skew-aware dispatch claim
+// *within the candidate*: every hotspot-scenario cell pair at ≥ 8 shards
+// must show the balanced layout beating fixed striping by at least that
+// fraction (0.25 = +25% workers/sec), and at least one such pair must
+// exist. This pins the point of WithBalancedShards — worst-case traffic —
+// with the same committed artifact the regression gate already reads.
+func runBenchDiff(basePath, candPath string, tolerance, hotspotGain float64) error {
 	base, err := readArtifact(basePath)
 	if err != nil {
 		return err
@@ -27,9 +51,7 @@ func runBenchDiff(basePath, candPath string, tolerance float64) error {
 		return fmt.Errorf("artifacts not comparable: %s/%s vs %s/%s",
 			base.Preset, base.Algo, cand.Preset, cand.Algo)
 	}
-	key := func(r throughputResult) string {
-		return fmt.Sprintf("%s/shards=%d/batch=%d", r.Mode, r.Shards, r.BatchSize)
-	}
+	key := cellKey
 	baseCells := make(map[string]throughputResult, len(base.Results))
 	for _, r := range base.Results {
 		baseCells[key(r)] = r
@@ -64,6 +86,76 @@ func runBenchDiff(basePath, candPath string, tolerance float64) error {
 	}
 	fmt.Printf("benchdiff: every shared cell within %s%% of %s\n",
 		strconv.FormatFloat(tolerance*100, 'g', -1, 64), basePath)
+	if hotspotGain > 0 {
+		if err := checkHotspotGain(cand, hotspotGain); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkHotspotGain verifies the candidate's hotspot cells at ≥ 8 shards:
+// balanced vs striped pairs (same mode, shard count and batch size) must
+// all clear the required fractional gain.
+func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
+	type pairKey struct {
+		mode   string
+		shards int
+		batch  int
+	}
+	striped := make(map[pairKey]float64)
+	balanced := make(map[pairKey]float64)
+	for _, r := range cand.Results {
+		if r.Scenario != "hotspot" || r.Shards < 8 {
+			continue
+		}
+		k := pairKey{r.Mode, r.Shards, r.BatchSize}
+		if r.Balanced {
+			balanced[k] = r.WorkersPerSec
+		} else {
+			striped[k] = r.WorkersPerSec
+		}
+	}
+	keys := make([]pairKey, 0, len(balanced))
+	for k := range balanced {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.mode != b.mode {
+			return a.mode < b.mode
+		}
+		if a.shards != b.shards {
+			return a.shards < b.shards
+		}
+		return a.batch < b.batch
+	})
+	pairs, failures := 0, 0
+	for _, k := range keys {
+		b := balanced[k]
+		s, ok := striped[k]
+		if !ok {
+			continue
+		}
+		pairs++
+		ratio := b / s
+		verdict := "ok"
+		if ratio < 1+minGain {
+			verdict = "TOO SLOW"
+			failures++
+		}
+		fmt.Printf("hotspot %s/shards=%d/batch=%d: balanced %.0f vs striped %.0f w/s (%.2fx) %s\n",
+			k.mode, k.shards, k.batch, b, s, ratio, verdict)
+	}
+	if pairs == 0 {
+		return fmt.Errorf("hotspot gain gate: no hotspot balanced/striped pair at ≥ 8 shards in the candidate")
+	}
+	if failures > 0 {
+		return fmt.Errorf("hotspot gain gate: %d pair(s) below the required +%s%% balanced speedup",
+			failures, strconv.FormatFloat(minGain*100, 'g', -1, 64))
+	}
+	fmt.Printf("hotspot gain gate: balanced beats striping by ≥ %s%% on all %d pair(s)\n",
+		strconv.FormatFloat(minGain*100, 'g', -1, 64), pairs)
 	return nil
 }
 

@@ -15,6 +15,8 @@
 //	ltcbench -exp fig4-newyork -algos LAF,AAM,Random
 //	ltcbench -exp throughput -shards 1,4,16  # sharded dispatch workers/sec
 //	ltcbench -exp throughput -batch 64,256 -async -json bench.json  # batched/async + artifact
+//	ltcbench -exp scenarios -shards 1,8 -async -json skew.json      # skewed-workload suite, striped vs balanced
+//	ltcbench -exp scenarios -scenarios hotspot,flashcrowd           # scenario subset
 //	ltcbench -exp churn -churn-initial 0.6 -churn-ttl 400  # online posts + expiry
 package main
 
@@ -34,7 +36,7 @@ func main() {
 	log.SetPrefix("ltcbench: ")
 
 	var (
-		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5', 'throughput' or 'churn'")
+		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5', 'throughput', 'scenarios' or 'churn'")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
 		reps     = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
 		seed     = flag.Uint64("seed", 42, "base seed")
@@ -43,10 +45,12 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
-		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput (comma-separated)")
-		batch    = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput (comma-separated)")
-		async    = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput")
-		jsonPath = flag.String("json", "", "write the -exp throughput results as a JSON benchmark artifact to this path ('-' for stdout)")
+		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput/scenarios (comma-separated)")
+		batch    = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput/scenarios (comma-separated)")
+		async    = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput/scenarios")
+		jsonPath = flag.String("json", "", "write the -exp throughput/scenarios results as a JSON benchmark artifact to this path ('-' for stdout)")
+
+		scenarios = flag.String("scenarios", "", "scenario subset for -exp scenarios (comma-separated; default: all kinds)")
 
 		churnShards  = flag.Int("churn-shards", 4, "shard count for -exp churn")
 		churnInitial = flag.Float64("churn-initial", 0, "initial task fraction for -exp churn (0 = default 0.6; rest posted online)")
@@ -58,6 +62,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline throughput artifact for -exp benchdiff")
 		candidate = flag.String("candidate", "", "candidate throughput artifact for -exp benchdiff")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional workers/s regression for -exp benchdiff")
+		hotGain   = flag.Float64("hotspot-gain", 0, "for -exp benchdiff: require the candidate's hotspot cells at ≥ 8 shards to show at least this fractional balanced-over-striped speedup (0 disables)")
 	)
 	flag.Parse()
 
@@ -69,6 +74,7 @@ func main() {
 		fmt.Println("  table4            print the synthetic dataset settings (Table IV)")
 		fmt.Println("  table5            print the check-in dataset presets (Table V)")
 		fmt.Println("  throughput        measure sharded dispatch check-in throughput (-shards, -batch, -async, -json)")
+		fmt.Println("  scenarios         skewed-workload throughput suite: scenario × shards × mode × layout (-scenarios, -shards, -batch, -async, -json)")
 		fmt.Println("  churn             dynamic task lifecycle: online posts + TTL expiry (-churn-*)")
 		fmt.Println("  loadgen           drive a running ltcd gateway end to end (-url, -loadgen-*)")
 		fmt.Println("  benchdiff         compare two throughput artifacts (-baseline, -candidate, -tolerance)")
@@ -90,6 +96,15 @@ func main() {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
 		if err := runThroughput(*shards, *batch, *async, *jsonPath, *scale, *seed, algo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "scenarios":
+		var algo string
+		if *algos != "" {
+			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
+		}
+		if err := runScenarios(*scenarios, *shards, *batch, *async, *jsonPath, *scale, *seed, algo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -117,7 +132,7 @@ func main() {
 		if *baseline == "" || *candidate == "" {
 			log.Fatal("benchdiff needs -baseline and -candidate artifact paths")
 		}
-		if err := runBenchDiff(*baseline, *candidate, *tolerance); err != nil {
+		if err := runBenchDiff(*baseline, *candidate, *tolerance, *hotGain); err != nil {
 			log.Fatal(err)
 		}
 		return

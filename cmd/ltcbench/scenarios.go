@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"ltc"
+)
+
+// runScenarios measures check-in throughput under the skewed workload
+// suite: every requested scenario × shard count × ingestion mode, each
+// multi-shard cell under both fixed striping and the balanced tile→shard
+// layout (WithBalancedShards). The artifact schema is -exp throughput's
+// (throughputArtifact), with scenario/balanced/imbalance columns filled
+// in, so `-exp benchdiff` gates scenario artifacts exactly like plain
+// throughput ones — uniform-scenario cells share their keys with -exp
+// throughput cells and are directly comparable across PRs.
+func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
+	var kinds []string
+	if scenarioList == "" {
+		kinds = ltc.ScenarioKinds()
+	} else {
+		for _, s := range strings.Split(scenarioList, ",") {
+			kinds = append(kinds, strings.TrimSpace(s))
+		}
+	}
+	shardCounts, err := parseCountList("-shards", shardList)
+	if err != nil {
+		return err
+	}
+	if len(shardCounts) == 0 {
+		return fmt.Errorf("-shards must list at least one shard count")
+	}
+	batchSizes, err := parseCountList("-batch", batchList)
+	if err != nil {
+		return err
+	}
+	algo := benchAlgo(algoName)
+
+	cfg := ltc.DefaultWorkload().Scale(scale)
+	cfg.Seed = seed
+	feeders := runtime.GOMAXPROCS(0)
+	art := throughputArtifact{
+		Preset:     fmt.Sprintf("tableiv-default-x%g", scale),
+		Algo:       string(algo),
+		Scale:      scale,
+		Feeders:    feeders,
+		GOMAXPROCS: feeders,
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tmode\tshards\tlayout\tbatch\tworkers/s\tns/op\timbalance\tglobal latency\truns")
+	for _, kind := range kinds {
+		scn, err := ltc.NewScenario(kind, cfg)
+		if err != nil {
+			return err
+		}
+		in, err := scn.Generate()
+		if err != nil {
+			return err
+		}
+		if art.Tasks == 0 {
+			art.Tasks, art.Workers = len(in.Tasks), len(in.Workers)
+			fmt.Printf("scenarios: %s over %d tasks / %d workers, %d feeder goroutines\n\n",
+				algo, len(in.Tasks), len(in.Workers), feeders)
+		}
+		for _, n := range shardCounts {
+			var cells []throughputResult
+			layouts := []bool{false}
+			if n > 1 {
+				layouts = append(layouts, true) // balanced only differs beyond one shard
+			}
+			for _, balanced := range layouts {
+				cells = append(cells, throughputResult{Scenario: kind, Mode: "percall", Shards: n, Balanced: balanced})
+				for _, b := range batchSizes {
+					cells = append(cells, throughputResult{Scenario: kind, Mode: "batch", Shards: n, BatchSize: b, Balanced: balanced})
+				}
+				if async {
+					cells = append(cells, throughputResult{Scenario: kind, Mode: "async", Shards: n, Balanced: balanced})
+				}
+			}
+			for _, cell := range cells {
+				res, err := measureThroughput(in, algo, seed, feeders, cell)
+				if err != nil {
+					return err
+				}
+				art.Results = append(art.Results, res)
+				layout := "striped"
+				if res.Balanced {
+					layout = "balanced"
+				}
+				batchCol := "-"
+				if res.BatchSize > 0 {
+					batchCol = strconv.Itoa(res.BatchSize)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%.0f\t%.0f\t%.2f\t%d\t%d\n",
+					res.Scenario, res.Mode, res.Shards, layout, batchCol,
+					res.WorkersPerSec, res.NsPerOp, res.Imbalance, res.Latency, res.Runs)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&art, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote benchmark artifact to %s\n", jsonPath)
+	}
+	return nil
+}

@@ -15,15 +15,23 @@ import (
 	"ltc"
 )
 
-// throughputResult is one measured (mode, shard count, batch size) cell of
-// the benchmark artifact.
+// throughputResult is one measured (scenario, mode, shard count, batch
+// size, shard layout) cell of the benchmark artifact.
 type throughputResult struct {
+	// Scenario names the workload scenario the cell was measured on
+	// (-exp scenarios). Empty for -exp throughput, whose workload is the
+	// uniform Table IV instance — identical to the "uniform" scenario, so
+	// benchdiff treats the two labels as the same cell.
+	Scenario string `json:"scenario,omitempty"`
 	// Mode is "percall" (one CheckIn per worker), "batch" (CheckInBatch
 	// chunks of BatchSize) or "async" (CheckInAsync + Flush).
 	Mode      string `json:"mode"`
 	Shards    int    `json:"shards"`
 	Effective int    `json:"effective_shards"`
 	BatchSize int    `json:"batch_size,omitempty"`
+	// Balanced marks cells measured under the load-aware tile→shard
+	// layout (WithBalancedShards) instead of fixed striping.
+	Balanced bool `json:"balanced,omitempty"`
 	// WorkersPerSec is ingested check-ins per wall-clock second — the
 	// headline throughput number.
 	WorkersPerSec float64 `json:"workers_per_sec"`
@@ -33,7 +41,10 @@ type throughputResult struct {
 	// Latency is the global LTC objective of the last completed stream —
 	// the quality side of the throughput trade.
 	Latency int `json:"latency"`
-	Runs    int `json:"runs"`
+	// Imbalance is the last stream's load imbalance (max shard's routed
+	// check-ins over the per-shard mean; 1.0 = even).
+	Imbalance float64 `json:"imbalance,omitempty"`
+	Runs      int     `json:"runs"`
 }
 
 // throughputArtifact is the machine-readable output of -exp throughput
@@ -57,28 +68,18 @@ type throughputArtifact struct {
 // resulting global latency. With -json the same numbers are written as a
 // machine-readable artifact (see throughputArtifact).
 func runThroughput(shardList, batchList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
-	var shardCounts []int
-	for _, s := range strings.Split(shardList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad -shards entry %q", s)
-		}
-		shardCounts = append(shardCounts, n)
+	shardCounts, err := parseCountList("-shards", shardList)
+	if err != nil {
+		return err
 	}
-	var batchSizes []int
-	if batchList != "" {
-		for _, s := range strings.Split(batchList, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				return fmt.Errorf("bad -batch entry %q", s)
-			}
-			batchSizes = append(batchSizes, n)
-		}
+	if len(shardCounts) == 0 {
+		return fmt.Errorf("-shards must list at least one shard count")
 	}
-	algo := ltc.Algorithm(algoName)
-	if algoName == "" {
-		algo = ltc.AAM
+	batchSizes, err := parseCountList("-batch", batchList)
+	if err != nil {
+		return err
 	}
+	algo := benchAlgo(algoName)
 
 	cfg := ltc.DefaultWorkload().Scale(scale)
 	cfg.Seed = seed
@@ -111,7 +112,7 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 			cells = append(cells, throughputResult{Mode: "async", Shards: n})
 		}
 		for _, cell := range cells {
-			res, err := measureThroughput(in, algo, seed, feeders, cell.Mode, cell.Shards, cell.BatchSize)
+			res, err := measureThroughput(in, algo, seed, feeders, cell)
 			if err != nil {
 				return err
 			}
@@ -147,20 +148,50 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 	return nil
 }
 
-// measureThroughput runs one (mode, shards, batch) cell as best-of-N
-// passes: each pass feeds fresh platforms the full stream until passDur
-// elapses, and the cell reports the fastest pass. Scheduling interference
-// on a shared box only ever slows a pass down, so taking the best pass
-// filters one-sided noise out of the committed BENCH_pr*.json artifacts
-// (which the benchdiff gate compares at a 10% tolerance). Allocation
-// metrics are aggregated across all passes — allocations are
+// parseCountList parses a comma-separated list of positive counts (shard
+// counts, batch sizes); an empty list is fine and yields nil.
+func parseCountList(flagName, list string) ([]int, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad %s entry %q", flagName, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// benchAlgo resolves the benchmark algorithm flag, defaulting to AAM.
+func benchAlgo(name string) ltc.Algorithm {
+	if name == "" {
+		return ltc.AAM
+	}
+	return ltc.Algorithm(name)
+}
+
+// measureThroughput runs one (scenario, mode, shards, batch, layout) cell
+// as best-of-N passes: each pass feeds fresh platforms the full stream
+// until passDur elapses, and the cell reports the fastest pass. Scheduling
+// interference on a shared box only ever slows a pass down, so taking the
+// best pass filters one-sided noise out of the committed BENCH_pr*.json
+// artifacts (which the benchdiff gate compares at a 10% tolerance).
+// Allocation metrics are aggregated across all passes — allocations are
 // deterministic per check-in, so they need no noise filtering.
-func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeders int, mode string, shards, batch int) (throughputResult, error) {
+func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeders int, cell throughputResult) (throughputResult, error) {
 	const (
 		passes  = 3
 		passDur = 500 * time.Millisecond
 	)
-	res := throughputResult{Mode: mode, Shards: shards, BatchSize: batch}
+	res := cell
+	mode, batch := cell.Mode, cell.BatchSize
+	opts := []ltc.Option{ltc.WithShards(cell.Shards), ltc.WithSeed(seed)}
+	if cell.Balanced {
+		opts = append(opts, ltc.WithBalancedShards())
+	}
 	var totalCheckins int
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -168,7 +199,7 @@ func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeder
 		var checkins int
 		start := time.Now()
 		for time.Since(start) < passDur {
-			plat, err := ltc.NewPlatform(in, algo, ltc.WithShards(shards), ltc.WithSeed(seed))
+			plat, err := ltc.NewPlatform(in, algo, opts...)
 			if err != nil {
 				return res, err
 			}
@@ -180,6 +211,7 @@ func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeder
 			res.Runs++
 			res.Latency = plat.Latency()
 			res.Effective = plat.Shards()
+			res.Imbalance = plat.Imbalance()
 		}
 		elapsed := time.Since(start)
 		totalCheckins += checkins

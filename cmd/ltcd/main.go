@@ -47,6 +47,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		algoName = flag.String("algo", "AAM", "online algorithm: LAF, AAM or Random")
 		shards   = flag.Int("shards", 0, "spatial shard count (0 = GOMAXPROCS)")
+		balanced = flag.Bool("balanced", false, "use the load-aware balanced tile→shard layout instead of fixed striping")
 		scale    = flag.Float64("scale", 0.01, "workload scale factor")
 		seed     = flag.Uint64("seed", 42, "generation seed (also drives Random)")
 		epsilon  = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
@@ -67,16 +68,23 @@ func main() {
 	if requested == 0 {
 		requested = runtime.GOMAXPROCS(0)
 	}
-	plat, err := ltc.NewPlatform(in, ltc.Algorithm(*algoName),
-		ltc.WithShards(requested), ltc.WithSeed(*seed),
-		ltc.WithQueueCap(*queueCap), ltc.WithEventBuffer(*eventBuf))
+	popts := []ltc.Option{ltc.WithShards(requested), ltc.WithSeed(*seed),
+		ltc.WithQueueCap(*queueCap), ltc.WithEventBuffer(*eventBuf)}
+	if *balanced {
+		popts = append(popts, ltc.WithBalancedShards())
+	}
+	plat, err := ltc.NewPlatform(in, ltc.Algorithm(*algoName), popts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := &http.Server{Addr: *addr, Handler: httpapi.NewHandler(plat, ltc.Algorithm(*algoName), requested)}
 
-	log.Printf("serving %s over %d tasks (%d shards, ε=%.2f, K=%d) on %s",
-		*algoName, len(in.Tasks), plat.Shards(), in.Epsilon, in.K, *addr)
+	layout := "striped"
+	if plat.Balanced() {
+		layout = "balanced"
+	}
+	log.Printf("serving %s over %d tasks (%d shards, %s layout, ε=%.2f, K=%d) on %s",
+		*algoName, len(in.Tasks), plat.Shards(), layout, in.Epsilon, in.K, *addr)
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
 	// requests (including open SSE streams, bounded by the timeout) finish.

@@ -12,6 +12,9 @@
 //	ltcsim -shards 8 -batch 64   # ...fed through CheckInBatch
 //	ltcsim -shards 8 -async      # ...fed through CheckInAsync + Flush
 //	ltcsim -shards 8 -events     # ...printing the completion stream live
+//	ltcsim -scenario hotspot -shards 8             # skewed traffic on fixed striping
+//	ltcsim -scenario hotspot -shards 8 -balanced   # ...with the load-aware layout
+//	ltcsim -scenario flashcrowd -churn 0.4 -ttl 500  # skewed dynamic-task replay
 package main
 
 import (
@@ -32,29 +35,38 @@ func main() {
 	log.SetPrefix("ltcsim: ")
 
 	var (
-		tasks   = flag.Int("tasks", 150, "number of tasks (synthetic)")
-		workers = flag.Int("workers", 2000, "number of workers (synthetic)")
-		k       = flag.Int("k", 6, "worker capacity K")
-		epsilon = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
-		seed    = flag.Uint64("seed", 1, "generation seed")
-		city    = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
-		scale   = flag.Float64("scale", 0.01, "city trace scale factor")
-		trials  = flag.Int("trials", 200, "voting simulation trials")
-		shards  = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
-		batch   = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
-		async   = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
-		events  = flag.Bool("events", false, "with -shards: subscribe to the platform event stream and print completions live instead of polling")
-		churn   = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
-		ttl     = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
+		tasks    = flag.Int("tasks", 150, "number of tasks (synthetic)")
+		workers  = flag.Int("workers", 2000, "number of workers (synthetic)")
+		k        = flag.Int("k", 6, "worker capacity K")
+		epsilon  = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		city     = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
+		scale    = flag.Float64("scale", 0.01, "city trace scale factor")
+		trials   = flag.Int("trials", 200, "voting simulation trials")
+		scenario = flag.String("scenario", "", "use a named synthetic workload: uniform, hotspot, flashcrowd, rushhour or sparse-frontier")
+		shards   = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
+		balanced = flag.Bool("balanced", false, "with -shards: use the load-aware balanced tile→shard layout instead of fixed striping")
+		batch    = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
+		async    = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
+		events   = flag.Bool("events", false, "with -shards: subscribe to the platform event stream and print completions live instead of polling")
+		churn    = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
+		ttl      = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
 	)
 	flag.Parse()
 
-	in, err := buildInstance(*city, *scale, *tasks, *workers, *k, *epsilon, *seed)
+	if *scenario != "" && *city != "" {
+		log.Fatal("-scenario and -city are mutually exclusive")
+	}
+	in, err := buildInstance(*city, *scenario, *scale, *tasks, *workers, *k, *epsilon, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("instance: %d tasks, %d workers, K=%d, ε=%.2f (δ=%.2f)\n\n",
-		len(in.Tasks), len(in.Workers), in.K, in.Epsilon, in.Delta())
+	label := ""
+	if *scenario != "" {
+		label = fmt.Sprintf(" [%s scenario]", *scenario)
+	}
+	fmt.Printf("instance%s: %d tasks, %d workers, K=%d, ε=%.2f (δ=%.2f)\n\n",
+		label, len(in.Tasks), len(in.Workers), in.K, in.Epsilon, in.Delta())
 
 	ci := ltc.NewCandidateIndex(in)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -83,7 +95,7 @@ func main() {
 	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
 
 	if *shards > 0 {
-		if err := runSharded(in, *shards, *seed, *batch, *async, *events); err != nil {
+		if err := runSharded(in, *shards, *seed, *batch, *async, *events, *balanced); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -91,7 +103,7 @@ func main() {
 		if *city != "" {
 			log.Fatal("-churn only supports synthetic workloads")
 		}
-		if err := runChurn(*tasks, *workers, *k, *epsilon, *seed, *churn, *ttl, *shards); err != nil {
+		if err := runChurn(*tasks, *workers, *k, *epsilon, *seed, *churn, *ttl, *shards, *scenario, *balanced); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -99,9 +111,11 @@ func main() {
 
 // runChurn replays a dynamic task lifecycle scenario: a fraction of the
 // tasks is posted online (Poisson on the arrival clock) and optionally
-// expires after a TTL. Reported are the paper's absolute latency and the
-// lifecycle-aware relative latency (worker index − task post index).
-func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac float64, ttl, shards int) error {
+// expires after a TTL. With a named -scenario the posts and the stream
+// follow its skewed placement (Scenario.GenerateChurn). Reported are the
+// paper's absolute latency and the lifecycle-aware relative latency
+// (worker index − task post index).
+func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac float64, ttl, shards int, scenario string, balanced bool) error {
 	cc := ltc.DefaultChurn(syntheticConfig(tasks, workers, k, epsilon, seed))
 	cc.InitialFraction = 1 - churnFrac
 	if cc.InitialFraction <= 0 {
@@ -111,12 +125,25 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 	}
 	cc.TTL = ttl
 	cc.Seed = seed
-	cw, err := cc.Generate()
+	var cw *ltc.ChurnWorkload
+	var err error
+	if scenario != "" {
+		var s ltc.Scenario
+		if s, err = ltc.NewScenario(scenario, cc.Base); err == nil {
+			cw, err = s.GenerateChurn(cc)
+		}
+	} else {
+		cw, err = cc.Generate()
+	}
 	if err != nil {
 		return err
 	}
 	if shards <= 0 {
 		shards = 1
+	}
+	opts := []ltc.Option{ltc.WithShards(shards), ltc.WithSeed(seed)}
+	if balanced {
+		opts = append(opts, ltc.WithBalancedShards())
 	}
 	fmt.Printf("\ndynamic tasks (%d initial, %d posted online, TTL %d, %d shards):\n",
 		cw.InitialTasks, cw.TotalTasks-cw.InitialTasks, ttl, shards)
@@ -126,7 +153,7 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 		if !algo.IsOnline() {
 			continue
 		}
-		rep, err := ltc.ReplayChurn(cw, algo, ltc.WithShards(shards), ltc.WithSeed(seed))
+		rep, err := ltc.ReplayChurn(cw, algo, opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
@@ -138,23 +165,30 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 
 // runSharded replays the worker stream through the sharded Platform for
 // each online algorithm and reports the global latency next to the
-// unsharded Session's, plus the per-shard worker routing — the latency
-// cost of spatial sharding made visible (see CONCURRENCY.md). The stream
-// is fed per-call by default, through CheckInBatch chunks with -batch, or
-// through CheckInAsync + Flush with -async (batched and async ingestion
-// change throughput, never the sequential-feed assignments). With -events
-// each platform's completion stream prints live from a Subscribe
-// subscription instead of being derived by polling.
-func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, events bool) error {
+// unsharded Session's, the load imbalance, and the per-shard worker
+// routing — the latency cost of spatial sharding made visible (see
+// CONCURRENCY.md). The stream is fed per-call by default, through
+// CheckInBatch chunks with -batch, or through CheckInAsync + Flush with
+// -async (batched and async ingestion change throughput, never the
+// sequential-feed assignments). With -balanced the platform uses the
+// load-aware tile→shard layout — compare the imbalance column against a
+// striped run on a skewed -scenario. With -events each platform's
+// completion stream prints live from a Subscribe subscription instead of
+// being derived by polling.
+func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, events, balanced bool) error {
 	mode := "per-call"
 	if async {
 		mode = "async"
 	} else if batch > 0 {
 		mode = fmt.Sprintf("batch=%d", batch)
 	}
-	fmt.Printf("\nsharded dispatch (%d shards requested, %s ingestion):\n", shards, mode)
+	layout := "striped"
+	if balanced {
+		layout = "balanced"
+	}
+	fmt.Printf("\nsharded dispatch (%d shards requested, %s ingestion, %s layout):\n", shards, mode, layout)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "algorithm\tshards\tglobal latency\tunsharded\tper-shard workers")
+	fmt.Fprintln(w, "algorithm\tshards\tglobal latency\tunsharded\timbalance\tper-shard workers")
 	incomplete := false
 	for _, algo := range ltc.Algorithms() {
 		if !algo.IsOnline() {
@@ -164,8 +198,12 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, eve
 		if err != nil && !errors.Is(err, ltc.ErrIncomplete) {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
-		plat, err := ltc.NewPlatform(in, algo, ltc.WithShards(shards), ltc.WithSeed(seed),
-			ltc.WithEventBuffer(2*len(in.Tasks)+16))
+		opts := []ltc.Option{ltc.WithShards(shards), ltc.WithSeed(seed),
+			ltc.WithEventBuffer(2*len(in.Tasks) + 16)}
+		if balanced {
+			opts = append(opts, ltc.WithBalancedShards())
+		}
+		plat, err := ltc.NewPlatform(in, algo, opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}
@@ -193,8 +231,9 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, eve
 		for _, s := range plat.ShardStats() {
 			counts = append(counts, fmt.Sprintf("%d", s.Workers))
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d%s\t%d%s\t%s\n",
-			algo, plat.Shards(), plat.Latency(), mark, base.Latency, baseMark, strings.Join(counts, " "))
+		fmt.Fprintf(w, "%s\t%d\t%d%s\t%d%s\t%.2f\t%s\n",
+			algo, plat.Shards(), plat.Latency(), mark, base.Latency, baseMark,
+			plat.Imbalance(), strings.Join(counts, " "))
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -301,10 +340,18 @@ func syntheticConfig(tasks, workers, k int, epsilon float64, seed uint64) ltc.Wo
 	return cfg
 }
 
-func buildInstance(city string, scale float64, tasks, workers, k int, epsilon float64, seed uint64) (*ltc.Instance, error) {
+func buildInstance(city, scenario string, scale float64, tasks, workers, k int, epsilon float64, seed uint64) (*ltc.Instance, error) {
 	switch city {
 	case "":
-		return syntheticConfig(tasks, workers, k, epsilon, seed).Generate()
+		cfg := syntheticConfig(tasks, workers, k, epsilon, seed)
+		if scenario == "" {
+			return cfg.Generate()
+		}
+		s, err := ltc.NewScenario(scenario, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Generate()
 	case "newyork", "tokyo":
 		cfg := ltc.NewYork()
 		if city == "tokyo" {

@@ -26,6 +26,43 @@ const (
 	DistUniform = workload.DistUniform
 )
 
+// Skewed workload scenarios (hotspots, flash crowds, rush-hour drift,
+// sparse frontiers), re-exported.
+
+// Scenario is a named, seed-deterministic skewed-workload generator over a
+// Table IV base config: the same counts, capacity and accuracy population
+// with the kind's spatial (and temporal — worker order matters) placement.
+// Compose with the dynamic task lifecycle via Scenario.GenerateChurn.
+type Scenario = workload.Scenario
+
+// The named workload scenarios accepted by NewScenario.
+const (
+	// ScenarioUniform is the Table IV baseline (identical to
+	// WorkloadConfig.Generate).
+	ScenarioUniform = workload.ScenarioUniform
+	// ScenarioHotspot concentrates tasks and workers on a few tiles by
+	// Zipf rank.
+	ScenarioHotspot = workload.ScenarioHotspot
+	// ScenarioFlashCrowd sends a time-windowed burst of workers into one
+	// small disc.
+	ScenarioFlashCrowd = workload.ScenarioFlashCrowd
+	// ScenarioRushHour drifts the worker mass across the grid over the
+	// stream.
+	ScenarioRushHour = workload.ScenarioRushHour
+	// ScenarioSparseFrontier places tasks in a strip nearly devoid of
+	// workers.
+	ScenarioSparseFrontier = workload.ScenarioSparseFrontier
+)
+
+// NewScenario returns a scenario of the given kind over base with default
+// knobs; see the workload package for the tunables.
+func NewScenario(kind string, base WorkloadConfig) (Scenario, error) {
+	return workload.NewScenario(kind, base)
+}
+
+// ScenarioKinds lists the named scenario kinds in presentation order.
+func ScenarioKinds() []string { return workload.ScenarioKinds() }
+
 // Dynamic task lifecycle workloads (online posts + TTL expiry), re-exported.
 
 type (

@@ -32,6 +32,7 @@ import (
 
 	"ltc/internal/core"
 	"ltc/internal/events"
+	"ltc/internal/geo"
 	"ltc/internal/model"
 )
 
@@ -56,8 +57,8 @@ var (
 // Options.QueueCap is zero.
 const DefaultQueueCap = 1024
 
-// Options tunes the batched/asynchronous ingestion path; the zero value is
-// ready to use.
+// Options tunes the batched/asynchronous ingestion path and the shard
+// layout; the zero value is ready to use.
 type Options struct {
 	// QueueCap bounds each shard's CheckInAsync queue. Enqueues block
 	// (backpressure) while the owning shard's queue is full. 0 means
@@ -68,7 +69,22 @@ type Options struct {
 	// QueueCap); smaller values bound how long a drain run can make a
 	// concurrent PostTask/RetireTask wait for the shard mutex.
 	MaxDrain int
+	// Balanced switches the tile→shard layout from fixed spatial striping
+	// to the load-aware greedy pack (model.PartitionOptions.Balanced),
+	// using the instance's worker locations — sampled down to
+	// maxLoadSample — as the load profile (task locations when the
+	// instance carries no workers). Latency semantics are unchanged:
+	// workers keep global arrival indices whatever the layout, and with
+	// one shard both layouts are identical. What changes is which shard
+	// serves which tile, so skewed traffic (hotspots, flash crowds) no
+	// longer collapses onto one hot shard mutex.
+	Balanced bool
 }
+
+// maxLoadSample caps how many worker locations feed the balanced layout's
+// load profile; beyond it workers are sampled at a fixed stride. 4096
+// points pin tile loads to a few percent — plenty for a greedy pack.
+const maxLoadSample = 4096
 
 // shard pairs one spatial sub-instance with its solver engine, its
 // incrementally updatable candidate index, and the mutex serializing its
@@ -153,7 +169,11 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	if err := in.ValidateStreaming(); err != nil {
 		return nil, err
 	}
-	part, err := model.PartitionInstance(in, nShards)
+	popt := model.PartitionOptions{Balanced: o.Balanced}
+	if o.Balanced {
+		popt.LoadSample = loadSample(in.Workers)
+	}
+	part, err := model.PartitionInstanceOpts(in, nShards, popt)
 	if err != nil {
 		return nil, err
 	}
@@ -180,9 +200,28 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	return d, nil
 }
 
+// loadSample extracts the balanced layout's load profile from the known
+// worker locations, striding down to maxLoadSample points so partitioning
+// stays O(tasks + sample) however large the stream is. Nil (no workers
+// known up front) lets the partitioner fall back to task locations.
+func loadSample(ws []model.Worker) []geo.Point {
+	if len(ws) == 0 {
+		return nil
+	}
+	stride := (len(ws) + maxLoadSample - 1) / maxLoadSample
+	pts := make([]geo.Point, 0, (len(ws)+stride-1)/stride)
+	for i := 0; i < len(ws); i += stride {
+		pts = append(pts, ws[i].Loc)
+	}
+	return pts
+}
+
 // NumShards reports the number of shards actually created (≤ the requested
 // count: empty spatial tiles collapse).
 func (d *Dispatcher) NumShards() int { return len(d.shards) }
+
+// Balanced reports whether the load-aware tile→shard layout is active.
+func (d *Dispatcher) Balanced() bool { return d.part.Balanced }
 
 // CheckIn routes worker w to the shard owning its location, offers it to
 // that shard's solver, and returns the check-in Receipt: the granted tasks
@@ -393,7 +432,7 @@ func (d *Dispatcher) Progress() (resolved, total int) {
 	return total - int(d.remaining.Load()), total
 }
 
-// ShardStats is one shard's progress/credit snapshot.
+// ShardStats is one shard's progress/credit/load snapshot.
 type ShardStats struct {
 	// Tasks is the shard's task count (including posted and retired tasks);
 	// Completed of them have reached δ and Retired were expired.
@@ -402,9 +441,16 @@ type ShardStats struct {
 	Retired   int
 	// Workers is the number of check-ins routed to the shard (including
 	// ones arriving after the shard completed); Offered of them were
-	// presented to the shard's solver.
+	// presented to the shard's solver. Workers is the shard's load
+	// account: it only ever grows, and the per-shard spread of Workers
+	// against its mean is the platform's load imbalance (see Imbalance).
 	Workers int
 	Offered int
+	// QueueDepth is the shard's CheckInAsync backlog at snapshot time —
+	// workers enqueued but not yet drained (0 when the async path is
+	// unused). Persistent depth at one shard while others sit empty is
+	// the signature of a hot shard under skewed traffic.
+	QueueDepth int
 	// Latency is the shard's latency in global arrival indices: the
 	// largest Worker.Index among its assigned workers. The platform's
 	// latency is the max over shards.
@@ -412,7 +458,8 @@ type ShardStats struct {
 }
 
 // ShardStats snapshots every shard. Shards are locked one at a time, so the
-// view is per-shard consistent but not a global atomic cut.
+// view is per-shard consistent but not a global atomic cut; each shard's
+// Workers count is monotone non-decreasing across snapshots.
 func (d *Dispatcher) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(d.shards))
 	for i, s := range d.shards {
@@ -427,8 +474,36 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 			Latency:   s.eng.Arrangement().Latency(),
 		}
 		s.mu.Unlock()
+		q := d.queues[i]
+		q.mu.Lock()
+		out[i].QueueDepth = len(q.buf)
+		q.mu.Unlock()
 	}
 	return out
+}
+
+// Imbalance reports the platform's load imbalance: the busiest shard's
+// routed check-ins over the per-shard mean. 1.0 is a perfectly even split,
+// NumShards() means every check-in landed on one shard; before any
+// check-in arrives the imbalance is 1.0 by convention. Under spatially
+// uniform traffic fixed striping sits near 1.0 already; skewed scenarios
+// (hotspot, flash crowd) push it toward NumShards() unless the balanced
+// layout is active.
+func (d *Dispatcher) Imbalance() float64 {
+	maxRouted, total := 0, 0
+	for _, s := range d.shards {
+		s.mu.Lock()
+		r := s.routed
+		s.mu.Unlock()
+		total += r
+		if r > maxRouted {
+			maxRouted = r
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(maxRouted) * float64(len(d.shards)) / float64(total)
 }
 
 // TaskStatus is one task's lifecycle snapshot, in global terms.

@@ -103,18 +103,25 @@ type ShardStat struct {
 	Retired   int `json:"retired"`
 	Workers   int `json:"workers"`
 	Offered   int `json:"offered"`
-	Latency   int `json:"latency"`
+	// QueueDepth is the shard's CheckInAsync backlog at snapshot time (0
+	// when the async path is unused).
+	QueueDepth int `json:"queue_depth"`
+	Latency    int `json:"latency"`
 }
 
 // Stats is GET /stats's result: the platform's full progress snapshot.
 // Shards is the effective shard count; RequestedShards echoes what the
 // gateway asked NewPlatform for (they differ when empty spatial tiles
 // collapsed), which is what a client must request to mirror the gateway's
-// spatial grid in-process.
+// spatial grid in-process. Balanced reports whether the load-aware
+// tile→shard layout is active, and Imbalance the busiest shard's routed
+// check-ins over the per-shard mean (1.0 = even) — the skew-diagnosis
+// pair for gateways serving hotspot traffic.
 type Stats struct {
 	Algo            string      `json:"algo"`
 	Shards          int         `json:"shards"`
 	RequestedShards int         `json:"requested_shards"`
+	Balanced        bool        `json:"balanced,omitempty"`
 	Tasks           int         `json:"tasks"`
 	Latency         int         `json:"latency"`
 	RelativeLatency int         `json:"relative_latency"`
@@ -122,6 +129,7 @@ type Stats struct {
 	Resolved        int         `json:"resolved"`
 	Total           int         `json:"total"`
 	Done            bool        `json:"done"`
+	Imbalance       float64     `json:"imbalance"`
 	ShardStats      []ShardStat `json:"shard_stats"`
 }
 
@@ -260,17 +268,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Algo:            s.algo,
 		Shards:          s.p.Shards(),
 		RequestedShards: s.requested,
+		Balanced:        s.p.Balanced(),
 		Latency:         s.p.Latency(),
 		RelativeLatency: s.p.RelativeLatency(),
 		WorkersSeen:     s.p.WorkersSeen(),
 		Resolved:        resolved,
 		Total:           total,
 		Done:            s.p.Done(),
+		Imbalance:       s.p.Imbalance(),
 	}
 	for _, sh := range s.p.ShardStats() {
 		st.ShardStats = append(st.ShardStats, ShardStat{
 			Tasks: sh.Tasks, Completed: sh.Completed, Retired: sh.Retired,
-			Workers: sh.Workers, Offered: sh.Offered, Latency: sh.Latency,
+			Workers: sh.Workers, Offered: sh.Offered, QueueDepth: sh.QueueDepth,
+			Latency: sh.Latency,
 		})
 		st.Tasks += sh.Tasks
 	}

@@ -227,6 +227,20 @@ func TestGatewayBatchAndLifecycle(t *testing.T) {
 	if st.WorkersSeen != ref.WorkersSeen() {
 		t.Fatalf("workers seen %d, want %d", st.WorkersSeen, ref.WorkersSeen())
 	}
+	// Load observability over the wire: imbalance mirrors the in-process
+	// value, per-shard accounts carry no async backlog on a batch-fed
+	// gateway, and the striped default reports Balanced = false.
+	if st.Imbalance != ref.Imbalance() {
+		t.Fatalf("imbalance %v, want %v", st.Imbalance, ref.Imbalance())
+	}
+	if st.Balanced {
+		t.Fatal("striped gateway reports balanced layout")
+	}
+	for i, sh := range st.ShardStats {
+		if sh.QueueDepth != 0 {
+			t.Fatalf("shard %d: queue depth %d on a batch-fed gateway", i, sh.QueueDepth)
+		}
+	}
 
 	// Retire is idempotent on completed tasks, 404 on unknown IDs.
 	if err := client.RetireTask(gwID); err != nil {

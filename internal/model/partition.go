@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ltc/internal/geo"
 )
@@ -73,6 +74,11 @@ func (s *SubInstance) TruncateLast() {
 type Partition struct {
 	Source *Instance
 	Shards []*SubInstance
+	// Balanced records whether the load-aware tile→shard pack was used
+	// (see PartitionOptions.Balanced); with it, every tile — task-free
+	// ones included — has a precomputed shard, so Locate never falls back
+	// to a nearest-task query.
+	Balanced bool
 
 	origin     geo.Point
 	tileW      float64
@@ -90,12 +96,46 @@ type Partition struct {
 // ErrBadShardCount is returned when a non-positive shard count is requested.
 var ErrBadShardCount = errors.New("model: shard count must be positive")
 
+// PartitionOptions tunes PartitionInstanceOpts. The zero value reproduces
+// PartitionInstance's fixed spatial striping exactly.
+type PartitionOptions struct {
+	// Balanced switches the tile→shard assignment from fixed striping (one
+	// near-square tile per shard) to a load-aware greedy pack: the task
+	// bounding rect is tiled much finer than the shard count and tiles are
+	// packed onto shards largest-load-first, so a spatial hotspot splits
+	// across shards instead of degenerating into one hot shard. Ignored
+	// (striping kept) for n = 1, where both modes coincide.
+	Balanced bool
+	// LoadSample approximates the expected check-in distribution for the
+	// balanced pack — typically the known worker locations, or a sampled
+	// subset of them. Nil falls back to the task locations (demand as a
+	// proxy for traffic). Ignored unless Balanced is set.
+	LoadSample []geo.Point
+}
+
+// balancedTileFactor is how many tiles per requested shard the balanced
+// mode carves the bounding rect into. Finer tiles split hotspots across
+// more shards at the cost of a larger (still O(1)-lookup) routing table;
+// 64 keeps the largest atomic tile well under one shard's fair share for
+// every scenario in the workload suite.
+const balancedTileFactor = 64
+
 // PartitionInstance partitions in's tasks into at most n spatial shards.
 // Fewer shards are returned when some tiles hold no tasks (or n exceeds the
 // task count — a shard is never empty). n = 1 yields a single shard whose
 // sub-instance lists the source tasks in their original order, so any
 // algorithm run on it behaves exactly as on the source.
 func PartitionInstance(in *Instance, n int) (*Partition, error) {
+	return PartitionInstanceOpts(in, n, PartitionOptions{})
+}
+
+// PartitionInstanceOpts is PartitionInstance with explicit options; see
+// PartitionOptions for the balanced tile→shard mode. Whatever the mode,
+// every location keeps routing to exactly one shard (the same shard for
+// workers and posted tasks alike), local task order follows ascending
+// global TaskID, and n = 1 reproduces the source task order — so the
+// dispatch layer's latency and ordering semantics are mode-independent.
+func PartitionInstanceOpts(in *Instance, n int, opt PartitionOptions) (*Partition, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadShardCount, n)
 	}
@@ -106,7 +146,7 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 		n = len(in.Tasks)
 	}
 
-	p := &Partition{Source: in}
+	p := &Partition{Source: in, Balanced: opt.Balanced && n > 1}
 	pts := make([]geo.Point, len(in.Tasks))
 	for i, t := range in.Tasks {
 		pts[i] = t.Loc
@@ -114,6 +154,20 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 	rect, _ := geo.BoundingRect(pts)
 	p.origin = rect.Min
 
+	if p.Balanced {
+		p.buildBalanced(in, n, opt.LoadSample, rect, pts)
+		// A degenerate pack can collapse to one shard (every task in one
+		// fine tile); the layouts then coincide, as with a requested n=1.
+		p.Balanced = len(p.Shards) > 1
+	} else {
+		p.buildStriped(in, n, rect, pts)
+	}
+	return p, nil
+}
+
+// buildStriped is the fixed spatial striping of PR 1: the rect is tiled
+// into ~n near-square tiles and each non-empty tile becomes one shard.
+func (p *Partition) buildStriped(in *Instance, n int, rect geo.Rect, pts []geo.Point) {
 	// Near-square tiling with cols·rows ≤ n, so the shard count never
 	// exceeds the request (empty tiles can only shrink it further).
 	p.cols = int(math.Sqrt(float64(n)))
@@ -121,6 +175,217 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 		p.cols = 1
 	}
 	p.rows = n / p.cols
+	p.setTileDims(rect)
+
+	// Bucket tasks by tile; iterate in global order so each shard's local
+	// task order follows ascending global TaskID.
+	tileTasks := p.bucketTasks(in)
+	p.tileShard = make([]int32, p.cols*p.rows)
+	p.taskShard = make([]int32, len(in.Tasks))
+	for c, ids := range tileTasks {
+		if len(ids) == 0 {
+			p.tileShard[c] = -1
+			continue
+		}
+		p.tileShard[c] = p.addShard(in, ids)
+	}
+
+	// Fallback router: a check-in landing on a task-free tile (or outside
+	// the rect) goes to the shard of the nearest task. Cell size of one tile
+	// edge keeps nearest-neighbour ring scans short.
+	cell := math.Min(p.tileW, p.tileH)
+	p.taskGrid = geo.NewGridIndex(pts, cell)
+}
+
+// buildBalanced tiles the rect balancedTileFactor× finer than the shard
+// count, estimates each tile's load from the sample (attributing traffic
+// of task-free tiles to the task tile that will serve it), packs the task
+// tiles onto shards by greedy largest-load-first balance, and precomputes
+// a shard for every task-free tile — Locate stays a single table lookup.
+func (p *Partition) buildBalanced(in *Instance, n int, sample []geo.Point, rect geo.Rect, pts []geo.Point) {
+	p.cols, p.rows = fineTiling(rect, balancedTileFactor*n)
+	p.setTileDims(rect)
+
+	tileTasks := p.bucketTasks(in)
+	// The runtime Locate never needs the nearest-task fallback in balanced
+	// mode (every tile gets a shard below), but the index stays cheap to
+	// build and keeps the shared code path total.
+	side := math.Sqrt(math.Max(rect.Width(), 1) * math.Max(rect.Height(), 1) / float64(len(pts)))
+	p.taskGrid = geo.NewGridIndex(pts, side)
+
+	// freeOwner maps every task-free tile to the task tile whose tasks
+	// will serve its traffic: a multi-source BFS from the task tiles over
+	// the tile grid (O(tiles), visited in deterministic queue order), so
+	// both the load attribution below and the final routing table agree.
+	// BFS hop distance stands in for Euclidean distance here — tiles are
+	// near-square, and per-tile ring scans would dominate the whole
+	// partitioning cost at this tiling resolution.
+	freeOwner := make([]int32, p.cols*p.rows)
+	queue := make([]int32, 0, p.cols*p.rows)
+	for c, ids := range tileTasks {
+		if len(ids) > 0 {
+			freeOwner[c] = int32(c)
+			queue = append(queue, int32(c))
+		} else {
+			freeOwner[c] = -1
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		cx, cy := int(c)%p.cols, int(c)/p.cols
+		for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+			nx, ny := cx+d[0], cy+d[1]
+			if nx < 0 || nx >= p.cols || ny < 0 || ny >= p.rows {
+				continue
+			}
+			nc := int32(ny*p.cols + nx)
+			if freeOwner[nc] < 0 {
+				freeOwner[nc] = freeOwner[c]
+				queue = append(queue, nc)
+			}
+		}
+	}
+
+	// Sampled load profile: count sample points per tile, folding traffic
+	// that lands on task-free tiles into the task tile serving it. With no
+	// sample, task counts stand in for traffic.
+	load := make([]float64, p.cols*p.rows)
+	if len(sample) == 0 {
+		for c, ids := range tileTasks {
+			load[c] = float64(len(ids))
+		}
+	} else {
+		for _, pt := range sample {
+			// Task tiles own themselves in freeOwner, so this folds
+			// task-free-tile traffic onto the tile serving it in one step.
+			load[freeOwner[p.tileIndex(pt)]]++
+		}
+		// A task tile no sample point hit still carries its tasks: weight
+		// it in so the pack never stacks all quiet tiles on one shard.
+		for c, ids := range tileTasks {
+			if len(ids) > 0 && load[c] == 0 {
+				load[c] = float64(len(ids)) / float64(len(in.Tasks))
+			}
+		}
+	}
+
+	// Greedy balance (LPT): task tiles largest-load-first, each onto the
+	// currently lightest shard. Ties break on tile index / bin index, so
+	// the pack is deterministic.
+	taskTiles := make([]int, 0, len(tileTasks))
+	for c, ids := range tileTasks {
+		if len(ids) > 0 {
+			taskTiles = append(taskTiles, c)
+		}
+	}
+	sort.SliceStable(taskTiles, func(i, j int) bool {
+		if load[taskTiles[i]] != load[taskTiles[j]] {
+			return load[taskTiles[i]] > load[taskTiles[j]]
+		}
+		return taskTiles[i] < taskTiles[j]
+	})
+	if n > len(taskTiles) {
+		n = len(taskTiles) // a shard is never empty
+	}
+	binLoad := make([]float64, n)
+	binOf := make(map[int]int, len(taskTiles)) // task tile → bin
+	for _, c := range taskTiles {
+		best := 0
+		for b := 1; b < n; b++ {
+			if binLoad[b] < binLoad[best] {
+				best = b
+			}
+		}
+		binOf[c] = best
+		binLoad[best] += load[c]
+	}
+
+	// Renumber bins by their smallest global TaskID so shard order (and
+	// with it ShardStats, stream replays, ...) is deterministic and
+	// independent of the pack's visit order.
+	binMin := make([]TaskID, n)
+	for b := range binMin {
+		binMin[b] = TaskID(len(in.Tasks))
+	}
+	for c, ids := range tileTasks {
+		if len(ids) == 0 {
+			continue
+		}
+		if b := binOf[c]; ids[0] < binMin[b] {
+			binMin[b] = ids[0]
+		}
+	}
+	order := make([]int, n)
+	for b := range order {
+		order[b] = b
+	}
+	sort.Slice(order, func(i, j int) bool { return binMin[order[i]] < binMin[order[j]] })
+	shardOf := make([]int32, n)
+	for rank, b := range order {
+		shardOf[b] = int32(rank)
+	}
+
+	// Collect each shard's global IDs in ascending order (tileTasks holds
+	// ascending IDs per tile; tiles visit in index order, then a sort makes
+	// the cross-tile order ascending too).
+	shardIDs := make([][]TaskID, n)
+	for c, ids := range tileTasks {
+		if len(ids) == 0 {
+			continue
+		}
+		s := shardOf[binOf[c]]
+		shardIDs[s] = append(shardIDs[s], ids...)
+	}
+	p.tileShard = make([]int32, p.cols*p.rows)
+	p.taskShard = make([]int32, len(in.Tasks))
+	for s, ids := range shardIDs {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if got := p.addShard(in, ids); int(got) != s {
+			panic("model: balanced shard numbering out of order")
+		}
+	}
+	for c := range p.tileShard {
+		p.tileShard[c] = shardOf[binOf[int(freeOwner[c])]]
+	}
+}
+
+// fineTiling picks a cols×rows grid of ≈ tiles near-square cells over rect,
+// degrading gracefully for zero-extent rects.
+func fineTiling(rect geo.Rect, tiles int) (cols, rows int) {
+	w, h := rect.Width(), rect.Height()
+	switch {
+	case w <= 0 && h <= 0:
+		return 1, 1
+	case w <= 0:
+		return 1, tiles
+	case h <= 0:
+		return tiles, 1
+	}
+	side := math.Sqrt(w * h / float64(tiles))
+	cols = int(math.Ceil(w / side))
+	rows = int(math.Ceil(h / side))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	// Extreme aspect ratios blow the ceil up (a near-line task rect can
+	// yield millions of columns for a 1-row grid); halve the long axis
+	// until the tile count is back within a small factor of the budget.
+	// Sane rects never enter the loop, so the common layout is untouched.
+	for cols*rows > 4*tiles {
+		if cols >= rows {
+			cols = (cols + 1) / 2
+		} else {
+			rows = (rows + 1) / 2
+		}
+	}
+	return cols, rows
+}
+
+// setTileDims derives the tile dimensions from the rect and grid shape.
+func (p *Partition) setTileDims(rect geo.Rect) {
 	p.tileW = rect.Width() / float64(p.cols)
 	p.tileH = rect.Height() / float64(p.rows)
 	if p.tileW <= 0 {
@@ -129,49 +394,42 @@ func PartitionInstance(in *Instance, n int) (*Partition, error) {
 	if p.tileH <= 0 {
 		p.tileH = 1
 	}
+}
 
-	// Bucket tasks by tile; iterate in global order so each shard's local
-	// task order follows ascending global TaskID.
+// bucketTasks groups the instance's tasks by tile, ascending global ID
+// within each tile.
+func (p *Partition) bucketTasks(in *Instance) [][]TaskID {
 	tileTasks := make([][]TaskID, p.cols*p.rows)
 	for _, t := range in.Tasks {
 		c := p.tileIndex(t.Loc)
 		tileTasks[c] = append(tileTasks[c], t.ID)
 	}
-	p.tileShard = make([]int32, p.cols*p.rows)
-	p.taskShard = make([]int32, len(in.Tasks))
-	for c, ids := range tileTasks {
-		if len(ids) == 0 {
-			p.tileShard[c] = -1
-			continue
-		}
-		shard := int32(len(p.Shards))
-		p.tileShard[c] = shard
-		sub := &SubInstance{
-			In: &Instance{
-				Tasks:   make([]Task, len(ids)),
-				Epsilon: in.Epsilon,
-				K:       in.K,
-				MinAcc:  in.MinAcc,
-			},
-			Global: make([]TaskID, len(ids)),
-			source: make([]Task, len(ids)),
-		}
-		for local, gid := range ids {
-			sub.In.Tasks[local] = Task{ID: TaskID(local), Loc: in.Tasks[gid].Loc}
-			sub.Global[local] = gid
-			sub.source[local] = in.Tasks[gid]
-			p.taskShard[gid] = shard
-		}
-		sub.In.Model = newShardModel(in, sub)
-		p.Shards = append(p.Shards, sub)
-	}
+	return tileTasks
+}
 
-	// Fallback router: a check-in landing on a task-free tile (or outside
-	// the rect) goes to the shard of the nearest task. Cell size of one tile
-	// edge keeps nearest-neighbour ring scans short.
-	cell := math.Min(p.tileW, p.tileH)
-	p.taskGrid = geo.NewGridIndex(pts, cell)
-	return p, nil
+// addShard builds the SubInstance over the given ascending global IDs,
+// records the task→shard mapping, and returns the new shard's index.
+func (p *Partition) addShard(in *Instance, ids []TaskID) int32 {
+	shard := int32(len(p.Shards))
+	sub := &SubInstance{
+		In: &Instance{
+			Tasks:   make([]Task, len(ids)),
+			Epsilon: in.Epsilon,
+			K:       in.K,
+			MinAcc:  in.MinAcc,
+		},
+		Global: make([]TaskID, len(ids)),
+		source: make([]Task, len(ids)),
+	}
+	for local, gid := range ids {
+		sub.In.Tasks[local] = Task{ID: TaskID(local), Loc: in.Tasks[gid].Loc}
+		sub.Global[local] = gid
+		sub.source[local] = in.Tasks[gid]
+		p.taskShard[gid] = shard
+	}
+	sub.In.Model = newShardModel(in, sub)
+	p.Shards = append(p.Shards, sub)
+	return shard
 }
 
 // shardModel adapts the source accuracy model to a shard's local task

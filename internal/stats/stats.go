@@ -61,6 +61,60 @@ func UniformMean(rng *rand.Rand, mean, halfWidth, lo, hi float64) float64 {
 	return a + rng.Float64()*(b-a)
 }
 
+// Zipf is a deterministic sampler over the ranks 0..n-1 with probability
+// proportional to 1/(rank+1)^s — the discrete power-law the skewed workload
+// scenarios use to concentrate load onto a few spatial tiles. math/rand/v2
+// dropped the v1 rand.Zipf type, so the reproduction carries its own
+// (inverse-CDF over the precomputed cumulative weights, O(log n) per draw).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics for
+// n < 1 or s < 0 (s = 0 degenerates to the uniform distribution, which is
+// allowed and occasionally useful in tests).
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		panic("stats: NewZipf requires n >= 1")
+	}
+	if s < 0 {
+		panic("stats: NewZipf requires s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one rank in [0, n): rank 0 is the most likely.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// P returns the probability of the given rank.
+func (z *Zipf) P(rank int) float64 {
+	if rank == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank] - z.cdf[rank-1]
+}
+
 // ErrEmpty is returned by summary constructors on empty input.
 var ErrEmpty = errors.New("stats: empty sample")
 

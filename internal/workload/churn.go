@@ -97,16 +97,41 @@ func DefaultChurn(base Config) ChurnConfig {
 // tasks into online posts (renumbered densely in post order, matching the
 // platform's ID assignment). Deterministic in the config.
 func (c ChurnConfig) Generate() (*ChurnWorkload, error) {
-	if c.InitialFraction <= 0 || c.InitialFraction > 1 {
-		return nil, fmt.Errorf("%w: InitialFraction %v", ErrBadChurn, c.InitialFraction)
-	}
-	if c.PostRate < 0 || c.TTL < 0 {
-		return nil, fmt.Errorf("%w: PostRate %v, TTL %d", ErrBadChurn, c.PostRate, c.TTL)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
 	base, err := c.Base.Generate()
 	if err != nil {
 		return nil, err
 	}
+	return c.split(base)
+}
+
+// GenerateOn builds the churn workload over a pre-generated instance — the
+// composition point for the Scenario layer: a skewed instance (hotspot,
+// flash crowd, ...) splits into initial tasks plus online posts exactly as
+// Generate splits the uniform base. c.Base is not consulted; the instance
+// provides the tasks and the worker stream. Deterministic in (c, base).
+func (c ChurnConfig) GenerateOn(base *model.Instance) (*ChurnWorkload, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c.split(base)
+}
+
+func (c ChurnConfig) validate() error {
+	if c.InitialFraction <= 0 || c.InitialFraction > 1 {
+		return fmt.Errorf("%w: InitialFraction %v", ErrBadChurn, c.InitialFraction)
+	}
+	if c.PostRate < 0 || c.TTL < 0 {
+		return fmt.Errorf("%w: PostRate %v, TTL %d", ErrBadChurn, c.PostRate, c.TTL)
+	}
+	return nil
+}
+
+// split converts the trailing tasks of a generated instance into online
+// posts on the arrival clock, plus TTL expiries when configured.
+func (c ChurnConfig) split(base *model.Instance) (*ChurnWorkload, error) {
 	nInitial := int(math.Ceil(c.InitialFraction * float64(len(base.Tasks))))
 	if nInitial < 1 {
 		nInitial = 1

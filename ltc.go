@@ -27,7 +27,10 @@
 //     WithIndex, …) accepted uniformly by Solve, NewSession, NewPlatform
 //     and ReplayChurn;
 //   - workload generators reproducing the paper's synthetic (Table IV) and
-//     Foursquare-style (Table V) datasets;
+//     Foursquare-style (Table V) datasets, plus named skewed scenarios
+//     (hotspot, flashcrowd, rushhour, sparse-frontier — NewScenario) and a
+//     load-aware shard layout surviving them (WithBalancedShards, with
+//     per-shard load accounts in ShardStats and Platform.Imbalance);
 //   - a voting simulator to verify completed tasks empirically meet ε;
 //   - cmd/ltcd, an HTTP/JSON gateway serving a Platform over the wire
 //     (check-ins, task lifecycle, stats, and an SSE event stream).

@@ -19,6 +19,7 @@ type Option interface {
 // value is every setting's default.
 type config struct {
 	shards          int
+	balanced        bool
 	seed            uint64
 	queueCap        int
 	maxDrain        int
@@ -47,6 +48,20 @@ func newConfig(opts []Option) config {
 // The effective count can be lower: empty spatial tiles collapse and
 // shards never outnumber tasks. Ignored by Solve and NewSession.
 func WithShards(n int) Option { return optionFunc(func(c *config) { c.shards = n }) }
+
+// WithBalancedShards switches the Platform's tile→shard layout from fixed
+// spatial striping to a load-aware greedy pack: the task bounding rect is
+// tiled much finer than the shard count and tiles are packed onto shards
+// largest-sampled-load-first, so skewed traffic (hotspots, flash crowds,
+// rush-hour drift) splits across shards instead of collapsing onto one hot
+// shard mutex. The load profile is sampled from the instance's worker
+// locations (task locations when the instance carries none). Latency and
+// ordering semantics are unchanged — workers keep their global arrival
+// indices, every location still routes to exactly one shard, and with one
+// shard the layouts coincide — but multi-shard assignments differ from the
+// striped layout's, since shard boundaries move (see CONCURRENCY.md,
+// "Balanced shard layout"). Ignored outside NewPlatform and ReplayChurn.
+func WithBalancedShards() Option { return optionFunc(func(c *config) { c.balanced = true }) }
 
 // WithSeed sets the seed driving the Random algorithm (per shard on a
 // Platform). The deterministic algorithms ignore it; zero is a valid seed.

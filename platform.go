@@ -135,7 +135,7 @@ func NewPlatform(in *Instance, algo Algorithm, opts ...Option) (*Platform, error
 	if err != nil {
 		return nil, err
 	}
-	d, err := dispatch.New(in, c.shards, factory, dispatch.Options{QueueCap: c.queueCap, MaxDrain: c.maxDrain})
+	d, err := dispatch.New(in, c.shards, factory, dispatch.Options{QueueCap: c.queueCap, MaxDrain: c.maxDrain, Balanced: c.balanced})
 	if err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
@@ -290,6 +290,18 @@ func (p *Platform) WorkersSeen() int { return p.d.Arrived() }
 
 // Shards reports the effective shard count.
 func (p *Platform) Shards() int { return p.d.NumShards() }
+
+// Balanced reports whether the load-aware tile→shard layout is active
+// (WithBalancedShards; always false with one shard, where the layouts
+// coincide).
+func (p *Platform) Balanced() bool { return p.d.Balanced() }
+
+// Imbalance reports the platform's current load imbalance: the busiest
+// shard's routed check-ins over the per-shard mean (1.0 = perfectly even,
+// Shards() = everything on one shard; 1.0 by convention before any
+// check-in). Per-shard load accounts are in ShardStats (Workers and, for
+// the async path, QueueDepth).
+func (p *Platform) Imbalance() float64 { return p.d.Imbalance() }
 
 // Progress returns the number of resolved tasks (reached δ, or retired
 // before reaching it) and the task total over every task ever posted.

@@ -1,0 +1,230 @@
+package ltc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// hotspotWorkload builds the skewed instance the stress tests drive: the
+// hotspot scenario over a small Table IV base.
+func hotspotWorkload(t testing.TB, scale float64) *Instance {
+	t.Helper()
+	cfg := DefaultWorkload().Scale(scale)
+	cfg.Seed = 33
+	s, err := NewScenario(ScenarioHotspot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestScenarioPlatformSmoke runs every scenario through a balanced
+// multi-shard platform sequentially: valid receipts, imbalance within
+// range, and the balanced layout engaged.
+func TestScenarioPlatformSmoke(t *testing.T) {
+	for _, kind := range ScenarioKinds() {
+		s, err := NewScenario(kind, func() WorkloadConfig {
+			c := DefaultWorkload().Scale(0.02)
+			c.Seed = 9
+			return c
+		}())
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := s.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat, err := NewPlatform(in, AAM, WithShards(6), WithBalancedShards())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if plat.Shards() > 1 && !plat.Balanced() {
+			t.Fatalf("%s: balanced layout not engaged", kind)
+		}
+		for _, w := range in.Workers {
+			if plat.Done() {
+				break
+			}
+			if _, err := plat.CheckIn(w); err != nil && !errors.Is(err, ErrPlatformDone) {
+				t.Fatalf("%s: %v", kind, err)
+			}
+		}
+		if im := plat.Imbalance(); im < 1 || im > float64(plat.Shards()) {
+			t.Fatalf("%s: imbalance %v out of [1, %d]", kind, im, plat.Shards())
+		}
+	}
+}
+
+// TestHotspotBalancedAsyncLifecycleStress drives the hotspot scenario
+// through CheckInAsync concurrently with PostTask/RetireTask on a balanced
+// multi-shard platform (run under -race). After the final Flush: no lost
+// workers (every enqueued check-in observed), posted tasks got dense
+// sequential IDs, and the per-shard load accounts grew monotonically
+// across snapshots.
+func TestHotspotBalancedAsyncLifecycleStress(t *testing.T) {
+	in := hotspotWorkload(t, 0.05)
+	plat, err := NewPlatform(in, LAF, WithShards(8), WithBalancedShards(), WithQueueCap(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		feeders  = 4
+		posters  = 2
+		nPosts   = 40
+		snapshot = 97 // stats snapshot cadence, in enqueues per feeder
+	)
+	var (
+		enqueued atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	// Feeders split the scenario stream and watch per-shard load accounts
+	// for monotonicity while the stress runs.
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			prev := make([]int, plat.Shards())
+			for i := f; i < len(in.Workers); i += feeders {
+				if err := plat.CheckInAsync(in.Workers[i]); err != nil {
+					fail(err)
+					return
+				}
+				enqueued.Add(1)
+				if i/feeders%snapshot == 0 {
+					stats := plat.ShardStats()
+					for si, st := range stats {
+						if st.Workers < prev[si] {
+							fail(errors.New("per-shard Workers count decreased"))
+							return
+						}
+						prev[si] = st.Workers
+						if st.QueueDepth < 0 {
+							fail(errors.New("negative queue depth"))
+							return
+						}
+					}
+					if im := plat.Imbalance(); im < 1-1e-9 || im > float64(plat.Shards())+1e-9 {
+						fail(errors.New("imbalance out of range"))
+						return
+					}
+				}
+			}
+		}(f)
+	}
+	// Posters add hot-region tasks mid-stream and retire every other one.
+	postedIDs := make([][]TaskID, posters)
+	for g := 0; g < posters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nPosts; i++ {
+				loc := in.Tasks[(g*nPosts+i)%len(in.Tasks)].Loc
+				id, err := plat.PostTask(Task{Loc: loc})
+				if err != nil {
+					fail(err)
+					return
+				}
+				postedIDs[g] = append(postedIDs[g], id)
+				if i%2 == 1 {
+					if err := plat.RetireTask(id); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	plat.Flush()
+	if err := plat.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	// No lost workers: every enqueued check-in was observed by the time
+	// Flush returned.
+	if got, want := plat.WorkersSeen(), int(enqueued.Load()); got != want {
+		t.Fatalf("WorkersSeen %d != enqueued %d", got, want)
+	}
+	// Dense IDs: the posted IDs across both posters are exactly the range
+	// after the initial tasks, each exactly once.
+	seen := make(map[TaskID]bool)
+	for _, ids := range postedIDs {
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("task ID %d assigned twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	for i := 0; i < posters*nPosts; i++ {
+		if !seen[TaskID(len(in.Tasks)+i)] {
+			t.Fatalf("task ID %d missing from the dense post range", len(in.Tasks)+i)
+		}
+	}
+	// The lifecycle snapshot covers every task ever posted.
+	if got, want := len(plat.TaskStatuses()), len(in.Tasks)+posters*nPosts; got != want {
+		t.Fatalf("TaskStatuses covers %d tasks, want %d", got, want)
+	}
+	// Final load accounts are consistent with the arrival total.
+	sum := 0
+	for _, st := range plat.ShardStats() {
+		sum += st.Workers
+		if st.QueueDepth != 0 {
+			t.Fatalf("queue depth %d after Flush+Close", st.QueueDepth)
+		}
+	}
+	if sum != plat.WorkersSeen() {
+		// Bounced check-ins (platform momentarily complete) are counted in
+		// WorkersSeen but not routed to any shard — they can only make the
+		// shard sum smaller, never larger.
+		if sum > plat.WorkersSeen() {
+			t.Fatalf("shard Workers sum %d exceeds WorkersSeen %d", sum, plat.WorkersSeen())
+		}
+	}
+}
+
+// TestReplayChurnOnScenario: the churn driver replays a scenario-composed
+// dynamic workload on a balanced platform — the full composition path
+// (Scenario → GenerateChurn → ReplayChurn with WithBalancedShards).
+func TestReplayChurnOnScenario(t *testing.T) {
+	cfg := DefaultWorkload().Scale(0.02)
+	cfg.Seed = 5
+	s, err := NewScenario(ScenarioFlashCrowd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := DefaultChurn(cfg)
+	cc.TTL = 500
+	cw, err := s.GenerateChurn(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayChurn(cw, AAM, WithShards(4), WithBalancedShards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Expired != cw.TotalTasks {
+		t.Fatalf("completed %d + expired %d ≠ total %d", rep.Completed, rep.Expired, cw.TotalTasks)
+	}
+	if rep.AbsoluteLatency < rep.RelativeLatency {
+		t.Fatalf("absolute latency %d below relative %d", rep.AbsoluteLatency, rep.RelativeLatency)
+	}
+}
