@@ -13,9 +13,17 @@ import (
 // "uniform" share a key: -exp throughput measures the uniform Table IV
 // instance, so its cells and -exp scenarios' uniform/striped cells are the
 // same measurement under two labels, and the benchdiff gate compares them
-// directly across artifact generations.
-func cellKey(r throughputResult) string {
-	k := fmt.Sprintf("%s/shards=%d/batch=%d", r.Mode, r.Shards, r.BatchSize)
+// directly across artifact generations. defFeeders normalizes the feeders
+// axis: cells recorded before the axis existed carry no per-cell feeders
+// value, so they inherit the artifact's top-level Feeders — keeping
+// pre-axis artifacts comparable with post-axis ones at the same feeder
+// count.
+func cellKey(r throughputResult, defFeeders int) string {
+	f := r.Feeders
+	if f == 0 {
+		f = defFeeders
+	}
+	k := fmt.Sprintf("%s/shards=%d/batch=%d/feeders=%d", r.Mode, r.Shards, r.BatchSize, f)
 	if r.Scenario != "" && r.Scenario != "uniform" {
 		k = r.Scenario + "/" + k
 	}
@@ -38,7 +46,13 @@ func cellKey(r throughputResult) string {
 // fraction (0.25 = +25% workers/sec), and at least one such pair must
 // exist. This pins the point of WithBalancedShards — worst-case traffic —
 // with the same committed artifact the regression gate already reads.
-func runBenchDiff(basePath, candPath string, tolerance, hotspotGain float64) error {
+//
+// asyncFloor > 0 asserts the async ingestion path held its ground: every
+// shared async-mode cell must show candidate/baseline ≥ asyncFloor (1.0 =
+// no regression at all, tighter than the general tolerance). maxAllocs ≥ 0
+// bounds the candidate's per-op allocation count on every cell — the
+// steady-state zero-allocation claim, gated on the committed artifact.
+func runBenchDiff(basePath, candPath string, tolerance, hotspotGain, asyncFloor, maxAllocs float64) error {
 	base, err := readArtifact(basePath)
 	if err != nil {
 		return err
@@ -51,28 +65,36 @@ func runBenchDiff(basePath, candPath string, tolerance, hotspotGain float64) err
 		return fmt.Errorf("artifacts not comparable: %s/%s vs %s/%s",
 			base.Preset, base.Algo, cand.Preset, cand.Algo)
 	}
-	key := cellKey
 	baseCells := make(map[string]throughputResult, len(base.Results))
 	for _, r := range base.Results {
-		baseCells[key(r)] = r
+		baseCells[cellKey(r, base.Feeders)] = r
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "cell\tbaseline w/s\tcandidate w/s\tratio\tverdict\n")
-	var failures int
+	var failures, floorFailures, allocFailures int
 	for _, c := range cand.Results {
-		b, ok := baseCells[key(c)]
+		k := cellKey(c, cand.Feeders)
+		if maxAllocs >= 0 && c.AllocsPerOp > maxAllocs {
+			fmt.Fprintf(w, "%s\t\t%.1f allocs/op\t\tOVER ALLOC BUDGET\n", k, c.AllocsPerOp)
+			allocFailures++
+		}
+		b, ok := baseCells[k]
 		if !ok {
-			fmt.Fprintf(w, "%s\t-\t%.0f\t-\tnew\n", key(c), c.WorkersPerSec)
+			fmt.Fprintf(w, "%s\t-\t%.0f\t-\tnew\n", k, c.WorkersPerSec)
 			continue
 		}
-		delete(baseCells, key(c))
+		delete(baseCells, k)
 		ratio := c.WorkersPerSec / b.WorkersPerSec
 		verdict := "ok"
 		if ratio < 1-tolerance {
 			verdict = "REGRESSED"
 			failures++
 		}
-		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\t%s\n", key(c), b.WorkersPerSec, c.WorkersPerSec, ratio, verdict)
+		if asyncFloor > 0 && c.Mode == "async" && ratio < asyncFloor {
+			verdict = "BELOW ASYNC FLOOR"
+			floorFailures++
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.3f\t%s\n", k, b.WorkersPerSec, c.WorkersPerSec, ratio, verdict)
 	}
 	for k, b := range baseCells {
 		fmt.Fprintf(w, "%s\t%.0f\t-\t-\tdropped\n", k, b.WorkersPerSec)
@@ -84,8 +106,24 @@ func runBenchDiff(basePath, candPath string, tolerance, hotspotGain float64) err
 		return fmt.Errorf("%d cell(s) regressed more than %s%% vs %s",
 			failures, strconv.FormatFloat(tolerance*100, 'g', -1, 64), basePath)
 	}
+	if floorFailures > 0 {
+		return fmt.Errorf("async floor gate: %d async cell(s) below %sx the baseline %s",
+			floorFailures, strconv.FormatFloat(asyncFloor, 'g', -1, 64), basePath)
+	}
+	if allocFailures > 0 {
+		return fmt.Errorf("alloc budget gate: %d cell(s) above %s allocs/op in %s",
+			allocFailures, strconv.FormatFloat(maxAllocs, 'g', -1, 64), candPath)
+	}
 	fmt.Printf("benchdiff: every shared cell within %s%% of %s\n",
 		strconv.FormatFloat(tolerance*100, 'g', -1, 64), basePath)
+	if asyncFloor > 0 {
+		fmt.Printf("async floor gate: every shared async cell at ≥ %sx the baseline\n",
+			strconv.FormatFloat(asyncFloor, 'g', -1, 64))
+	}
+	if maxAllocs >= 0 {
+		fmt.Printf("alloc budget gate: every candidate cell at ≤ %s allocs/op\n",
+			strconv.FormatFloat(maxAllocs, 'g', -1, 64))
+	}
 	if hotspotGain > 0 {
 		if err := checkHotspotGain(cand, hotspotGain); err != nil {
 			return err
@@ -95,13 +133,14 @@ func runBenchDiff(basePath, candPath string, tolerance, hotspotGain float64) err
 }
 
 // checkHotspotGain verifies the candidate's hotspot cells at ≥ 8 shards:
-// balanced vs striped pairs (same mode, shard count and batch size) must
-// all clear the required fractional gain.
+// balanced vs striped pairs (same mode, shard count, batch size and feeder
+// count) must all clear the required fractional gain.
 func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
 	type pairKey struct {
-		mode   string
-		shards int
-		batch  int
+		mode    string
+		shards  int
+		batch   int
+		feeders int
 	}
 	striped := make(map[pairKey]float64)
 	balanced := make(map[pairKey]float64)
@@ -109,7 +148,11 @@ func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
 		if r.Scenario != "hotspot" || r.Shards < 8 {
 			continue
 		}
-		k := pairKey{r.Mode, r.Shards, r.BatchSize}
+		f := r.Feeders
+		if f == 0 {
+			f = cand.Feeders
+		}
+		k := pairKey{r.Mode, r.Shards, r.BatchSize, f}
 		if r.Balanced {
 			balanced[k] = r.WorkersPerSec
 		} else {
@@ -128,7 +171,10 @@ func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
 		if a.shards != b.shards {
 			return a.shards < b.shards
 		}
-		return a.batch < b.batch
+		if a.batch != b.batch {
+			return a.batch < b.batch
+		}
+		return a.feeders < b.feeders
 	})
 	pairs, failures := 0, 0
 	for _, k := range keys {
@@ -144,8 +190,8 @@ func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
 			verdict = "TOO SLOW"
 			failures++
 		}
-		fmt.Printf("hotspot %s/shards=%d/batch=%d: balanced %.0f vs striped %.0f w/s (%.2fx) %s\n",
-			k.mode, k.shards, k.batch, b, s, ratio, verdict)
+		fmt.Printf("hotspot %s/shards=%d/batch=%d/feeders=%d: balanced %.0f vs striped %.0f w/s (%.2fx) %s\n",
+			k.mode, k.shards, k.batch, k.feeders, b, s, ratio, verdict)
 	}
 	if pairs == 0 {
 		return fmt.Errorf("hotspot gain gate: no hotspot balanced/striped pair at ≥ 8 shards in the candidate")

@@ -47,6 +47,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
 		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput/scenarios (comma-separated)")
 		batch    = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput/scenarios (comma-separated)")
+		feeders  = flag.String("feeders", "", "feeder goroutine counts for -exp throughput/scenarios (comma-separated; default: GOMAXPROCS)")
 		async    = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput/scenarios")
 		jsonPath = flag.String("json", "", "write the -exp throughput/scenarios results as a JSON benchmark artifact to this path ('-' for stdout)")
 
@@ -56,13 +57,15 @@ func main() {
 		churnInitial = flag.Float64("churn-initial", 0, "initial task fraction for -exp churn (0 = default 0.6; rest posted online)")
 		churnTTL     = flag.Int("churn-ttl", 0, "task TTL in arrivals for -exp churn (0 = no expiry)")
 
-		url       = flag.String("url", "", "ltcd base URL for -exp loadgen (e.g. http://127.0.0.1:8080)")
-		lgBatch   = flag.Int("loadgen-batch", 0, "feed -exp loadgen through /checkin/batch chunks of this size (0/1 = per-call)")
-		lgConns   = flag.Int("loadgen-conns", 1, "concurrent connections for -exp loadgen (1 = sequential feed with in-process latency audit)")
-		baseline  = flag.String("baseline", "", "baseline throughput artifact for -exp benchdiff")
-		candidate = flag.String("candidate", "", "candidate throughput artifact for -exp benchdiff")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional workers/s regression for -exp benchdiff")
-		hotGain   = flag.Float64("hotspot-gain", 0, "for -exp benchdiff: require the candidate's hotspot cells at ≥ 8 shards to show at least this fractional balanced-over-striped speedup (0 disables)")
+		url        = flag.String("url", "", "ltcd base URL for -exp loadgen (e.g. http://127.0.0.1:8080)")
+		lgBatch    = flag.Int("loadgen-batch", 0, "feed -exp loadgen through /checkin/batch chunks of this size (0/1 = per-call)")
+		lgConns    = flag.Int("loadgen-conns", 1, "concurrent connections for -exp loadgen (1 = sequential feed with in-process latency audit)")
+		baseline   = flag.String("baseline", "", "baseline throughput artifact for -exp benchdiff")
+		candidate  = flag.String("candidate", "", "candidate throughput artifact for -exp benchdiff")
+		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional workers/s regression for -exp benchdiff")
+		hotGain    = flag.Float64("hotspot-gain", 0, "for -exp benchdiff: require the candidate's hotspot cells at ≥ 8 shards to show at least this fractional balanced-over-striped speedup (0 disables)")
+		asyncFloor = flag.Float64("async-floor", 0, "for -exp benchdiff: require every shared async cell's candidate/baseline workers/s ratio to be at least this (1.0 = no async regression at all; 0 disables)")
+		maxAllocs  = flag.Float64("max-allocs", -1, "for -exp benchdiff: fail when any candidate cell exceeds this many allocs/op (-1 disables; 0 = steady-state allocation-free)")
 	)
 	flag.Parse()
 
@@ -95,7 +98,7 @@ func main() {
 		if *algos != "" {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
-		if err := runThroughput(*shards, *batch, *async, *jsonPath, *scale, *seed, algo); err != nil {
+		if err := runThroughput(*shards, *batch, *feeders, *async, *jsonPath, *scale, *seed, algo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -104,7 +107,7 @@ func main() {
 		if *algos != "" {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
-		if err := runScenarios(*scenarios, *shards, *batch, *async, *jsonPath, *scale, *seed, algo); err != nil {
+		if err := runScenarios(*scenarios, *shards, *batch, *feeders, *async, *jsonPath, *scale, *seed, algo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -132,7 +135,7 @@ func main() {
 		if *baseline == "" || *candidate == "" {
 			log.Fatal("benchdiff needs -baseline and -candidate artifact paths")
 		}
-		if err := runBenchDiff(*baseline, *candidate, *tolerance, *hotGain); err != nil {
+		if err := runBenchDiff(*baseline, *candidate, *tolerance, *hotGain, *asyncFloor, *maxAllocs); err != nil {
 			log.Fatal(err)
 		}
 		return

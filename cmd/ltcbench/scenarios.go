@@ -20,7 +20,7 @@ import (
 // in, so `-exp benchdiff` gates scenario artifacts exactly like plain
 // throughput ones — uniform-scenario cells share their keys with -exp
 // throughput cells and are directly comparable across PRs.
-func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
+func runScenarios(scenarioList, shardList, batchList, feedersList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
 	var kinds []string
 	if scenarioList == "" {
 		kinds = ltc.ScenarioKinds()
@@ -40,21 +40,24 @@ func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPat
 	if err != nil {
 		return err
 	}
+	feederCounts, err := parseFeeders(feedersList)
+	if err != nil {
+		return err
+	}
 	algo := benchAlgo(algoName)
 
 	cfg := ltc.DefaultWorkload().Scale(scale)
 	cfg.Seed = seed
-	feeders := runtime.GOMAXPROCS(0)
 	art := throughputArtifact{
 		Preset:     fmt.Sprintf("tableiv-default-x%g", scale),
 		Algo:       string(algo),
 		Scale:      scale,
-		Feeders:    feeders,
-		GOMAXPROCS: feeders,
+		Feeders:    feederCounts[0],
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "scenario\tmode\tshards\tlayout\tbatch\tworkers/s\tns/op\timbalance\tglobal latency\truns")
+	fmt.Fprintln(w, "scenario\tmode\tshards\tlayout\tbatch\tfeeders\tworkers/s\tns/op\timbalance\tglobal latency\truns")
 	for _, kind := range kinds {
 		scn, err := ltc.NewScenario(kind, cfg)
 		if err != nil {
@@ -66,8 +69,8 @@ func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPat
 		}
 		if art.Tasks == 0 {
 			art.Tasks, art.Workers = len(in.Tasks), len(in.Workers)
-			fmt.Printf("scenarios: %s over %d tasks / %d workers, %d feeder goroutines\n\n",
-				algo, len(in.Tasks), len(in.Workers), feeders)
+			fmt.Printf("scenarios: %s over %d tasks / %d workers, feeder counts %v\n\n",
+				algo, len(in.Tasks), len(in.Workers), feederCounts)
 		}
 		for _, n := range shardCounts {
 			var cells []throughputResult
@@ -76,16 +79,18 @@ func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPat
 				layouts = append(layouts, true) // balanced only differs beyond one shard
 			}
 			for _, balanced := range layouts {
-				cells = append(cells, throughputResult{Scenario: kind, Mode: "percall", Shards: n, Balanced: balanced})
-				for _, b := range batchSizes {
-					cells = append(cells, throughputResult{Scenario: kind, Mode: "batch", Shards: n, BatchSize: b, Balanced: balanced})
-				}
-				if async {
-					cells = append(cells, throughputResult{Scenario: kind, Mode: "async", Shards: n, Balanced: balanced})
+				for _, f := range feederCounts {
+					cells = append(cells, throughputResult{Scenario: kind, Mode: "percall", Shards: n, Balanced: balanced, Feeders: f})
+					for _, b := range batchSizes {
+						cells = append(cells, throughputResult{Scenario: kind, Mode: "batch", Shards: n, BatchSize: b, Balanced: balanced, Feeders: f})
+					}
+					if async {
+						cells = append(cells, throughputResult{Scenario: kind, Mode: "async", Shards: n, Balanced: balanced, Feeders: f})
+					}
 				}
 			}
 			for _, cell := range cells {
-				res, err := measureThroughput(in, algo, seed, feeders, cell)
+				res, err := measureThroughput(in, algo, seed, cell)
 				if err != nil {
 					return err
 				}
@@ -98,8 +103,8 @@ func runScenarios(scenarioList, shardList, batchList string, async bool, jsonPat
 				if res.BatchSize > 0 {
 					batchCol = strconv.Itoa(res.BatchSize)
 				}
-				fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%.0f\t%.0f\t%.2f\t%d\t%d\n",
-					res.Scenario, res.Mode, res.Shards, layout, batchCol,
+				fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%d\t%.0f\t%.0f\t%.2f\t%d\t%d\n",
+					res.Scenario, res.Mode, res.Shards, layout, batchCol, res.Feeders,
 					res.WorkersPerSec, res.NsPerOp, res.Imbalance, res.Latency, res.Runs)
 			}
 		}

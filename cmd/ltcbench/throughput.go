@@ -32,6 +32,11 @@ type throughputResult struct {
 	// Balanced marks cells measured under the load-aware tile→shard
 	// layout (WithBalancedShards) instead of fixed striping.
 	Balanced bool `json:"balanced,omitempty"`
+	// Feeders is the number of concurrent feeder goroutines the cell was
+	// measured with. 0 (artifacts recorded before the feeders axis existed)
+	// means the artifact's top-level Feeders value — benchdiff normalizes
+	// through that default so pre-axis artifacts keep their cell identity.
+	Feeders int `json:"feeders,omitempty"`
 	// WorkersPerSec is ingested check-ins per wall-clock second — the
 	// headline throughput number.
 	WorkersPerSec float64 `json:"workers_per_sec"`
@@ -61,13 +66,14 @@ type throughputArtifact struct {
 }
 
 // runThroughput measures the dispatch layer's check-in throughput from the
-// CLI. For each requested shard count it feeds the full worker stream to a
-// fresh Platform from GOMAXPROCS goroutines — per-call, in CheckInBatch
-// chunks (one row per -batch size) and via CheckInAsync (-async) — each
-// repeated for at least minDuration, and prints workers/sec alongside the
-// resulting global latency. With -json the same numbers are written as a
-// machine-readable artifact (see throughputArtifact).
-func runThroughput(shardList, batchList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
+// CLI. For each requested shard count and feeder count it feeds the full
+// worker stream to a fresh Platform from that many concurrent goroutines —
+// per-call, in CheckInBatch chunks (one row per -batch size) and via
+// CheckInAsync (-async) — each repeated for at least passDur, and prints
+// workers/sec alongside the resulting global latency. With -json the same
+// numbers are written as a machine-readable artifact (see
+// throughputArtifact).
+func runThroughput(shardList, batchList, feedersList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
 	shardCounts, err := parseCountList("-shards", shardList)
 	if err != nil {
 		return err
@@ -79,6 +85,10 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 	if err != nil {
 		return err
 	}
+	feederCounts, err := parseFeeders(feedersList)
+	if err != nil {
+		return err
+	}
 	algo := benchAlgo(algoName)
 
 	cfg := ltc.DefaultWorkload().Scale(scale)
@@ -87,9 +97,8 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 	if err != nil {
 		return err
 	}
-	feeders := runtime.GOMAXPROCS(0)
-	fmt.Printf("throughput: %s over %d tasks / %d workers, %d feeder goroutines\n\n",
-		algo, len(in.Tasks), len(in.Workers), feeders)
+	fmt.Printf("throughput: %s over %d tasks / %d workers, feeder counts %v\n\n",
+		algo, len(in.Tasks), len(in.Workers), feederCounts)
 
 	art := throughputArtifact{
 		Preset:     fmt.Sprintf("tableiv-default-x%g", scale),
@@ -97,22 +106,25 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 		Scale:      scale,
 		Tasks:      len(in.Tasks),
 		Workers:    len(in.Workers),
-		Feeders:    feeders,
-		GOMAXPROCS: feeders,
+		Feeders:    feederCounts[0],
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "mode\tshards\teffective\tbatch\tworkers/s\tns/op\tallocs/op\tglobal latency\truns")
+	fmt.Fprintln(w, "mode\tshards\teffective\tbatch\tfeeders\tworkers/s\tns/op\tallocs/op\tglobal latency\truns")
 	for _, n := range shardCounts {
-		cells := []throughputResult{{Mode: "percall", Shards: n}}
-		for _, b := range batchSizes {
-			cells = append(cells, throughputResult{Mode: "batch", Shards: n, BatchSize: b})
-		}
-		if async {
-			cells = append(cells, throughputResult{Mode: "async", Shards: n})
+		var cells []throughputResult
+		for _, f := range feederCounts {
+			cells = append(cells, throughputResult{Mode: "percall", Shards: n, Feeders: f})
+			for _, b := range batchSizes {
+				cells = append(cells, throughputResult{Mode: "batch", Shards: n, BatchSize: b, Feeders: f})
+			}
+			if async {
+				cells = append(cells, throughputResult{Mode: "async", Shards: n, Feeders: f})
+			}
 		}
 		for _, cell := range cells {
-			res, err := measureThroughput(in, algo, seed, feeders, cell)
+			res, err := measureThroughput(in, algo, seed, cell)
 			if err != nil {
 				return err
 			}
@@ -121,8 +133,8 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 			if res.BatchSize > 0 {
 				batchCol = strconv.Itoa(res.BatchSize)
 			}
-			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%.0f\t%.0f\t%.1f\t%d\t%d\n",
-				res.Mode, res.Shards, res.Effective, batchCol,
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%d\t%.0f\t%.0f\t%.1f\t%d\t%d\n",
+				res.Mode, res.Shards, res.Effective, batchCol, res.Feeders,
 				res.WorkersPerSec, res.NsPerOp, res.AllocsPerOp, res.Latency, res.Runs)
 		}
 	}
@@ -146,6 +158,19 @@ func runThroughput(shardList, batchList string, async bool, jsonPath string, sca
 		fmt.Printf("\nwrote benchmark artifact to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// parseFeeders parses the -feeders list, defaulting to a single entry of
+// GOMAXPROCS (the pre-axis behaviour) when the flag is empty.
+func parseFeeders(list string) ([]int, error) {
+	counts, err := parseCountList("-feeders", list)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		counts = []int{runtime.GOMAXPROCS(0)}
+	}
+	return counts, nil
 }
 
 // parseCountList parses a comma-separated list of positive counts (shard
@@ -173,56 +198,119 @@ func benchAlgo(name string) ltc.Algorithm {
 	return ltc.Algorithm(name)
 }
 
-// measureThroughput runs one (scenario, mode, shards, batch, layout) cell
-// as best-of-N passes: each pass feeds fresh platforms the full stream
-// until passDur elapses, and the cell reports the fastest pass. Scheduling
-// interference on a shared box only ever slows a pass down, so taking the
-// best pass filters one-sided noise out of the committed BENCH_pr*.json
-// artifacts (which the benchdiff gate compares at a 10% tolerance).
-// Allocation metrics are aggregated across all passes — allocations are
-// deterministic per check-in, so they need no noise filtering.
-func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, feeders int, cell throughputResult) (throughputResult, error) {
+// passMetrics accumulates the measured cost of feedStream calls and
+// nothing else: the wall clock and the allocation counters bracket exactly
+// the feed, so platform construction, drainer startup and the pass
+// bookkeeping around each run are never charged to the hot path. Earlier
+// artifacts (through BENCH_pr5.json) bracketed the whole pass loop —
+// NewPlatform included — which inflated allocs/op by the per-run
+// construction cost; TestPassMetricsBracketsFeedOnly pins the corrected
+// accounting.
+type passMetrics struct {
+	checkins int
+	elapsed  time.Duration
+	mallocs  uint64
+	bytes    uint64
+}
+
+// measure runs one feed with the clock and MemStats bracketing exactly that
+// call, folds the cost in, and returns the feed's result.
+func (m *passMetrics) measure(feed func() (int, error)) (int, error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	fed, err := feed()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	m.checkins += fed
+	m.elapsed += elapsed
+	m.mallocs += ms1.Mallocs - ms0.Mallocs
+	m.bytes += ms1.TotalAlloc - ms0.TotalAlloc
+	return fed, err
+}
+
+// add folds another pass's metrics in.
+func (m *passMetrics) add(o passMetrics) {
+	m.checkins += o.checkins
+	m.elapsed += o.elapsed
+	m.mallocs += o.mallocs
+	m.bytes += o.bytes
+}
+
+// rate returns ingested check-ins per second of measured feed time.
+func (m *passMetrics) rate() float64 {
+	if m.elapsed <= 0 {
+		return 0
+	}
+	return float64(m.checkins) / m.elapsed.Seconds()
+}
+
+// allocsPerOp and bytesPerOp report per-check-in allocation cost with
+// testing.B's convention — total divided by operations, truncated — so a
+// path whose only allocations are amortized (arena blocks, slice regrowth)
+// reports a flat 0, exactly like b.AllocsPerOp.
+func (m *passMetrics) allocsPerOp() float64 {
+	if m.checkins == 0 {
+		return 0
+	}
+	return float64(m.mallocs / uint64(m.checkins))
+}
+
+func (m *passMetrics) bytesPerOp() float64 {
+	if m.checkins == 0 {
+		return 0
+	}
+	return float64(m.bytes / uint64(m.checkins))
+}
+
+// measureThroughput runs one (scenario, mode, shards, batch, layout,
+// feeders) cell as best-of-N passes: each pass feeds fresh platforms the
+// full stream until passDur elapses, and the cell reports the fastest pass.
+// Scheduling interference on a shared box only ever slows a pass down, so
+// taking the best pass filters one-sided noise out of the committed
+// BENCH_pr*.json artifacts (which the benchdiff gate compares at a 10%
+// tolerance). Only the feedStream calls themselves are measured (see
+// passMetrics); allocation metrics aggregate across all passes —
+// allocations are deterministic per check-in, so they need no noise
+// filtering.
+func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, cell throughputResult) (throughputResult, error) {
 	const (
 		passes  = 3
 		passDur = 500 * time.Millisecond
 	)
 	res := cell
-	mode, batch := cell.Mode, cell.BatchSize
+	mode, batch, feeders := cell.Mode, cell.BatchSize, cell.Feeders
 	opts := []ltc.Option{ltc.WithShards(cell.Shards), ltc.WithSeed(seed)}
 	if cell.Balanced {
 		opts = append(opts, ltc.WithBalancedShards())
 	}
-	var totalCheckins int
-	var ms0, ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
+	var agg passMetrics
 	for pass := 0; pass < passes; pass++ {
-		var checkins int
+		var pm passMetrics
 		start := time.Now()
 		for time.Since(start) < passDur {
 			plat, err := ltc.NewPlatform(in, algo, opts...)
 			if err != nil {
 				return res, err
 			}
-			fed, err := feedStream(plat, in.Workers, feeders, mode, batch)
-			if err != nil {
+			if _, err := pm.measure(func() (int, error) {
+				return feedStream(plat, in.Workers, feeders, mode, batch)
+			}); err != nil {
 				return res, err
 			}
-			checkins += fed
 			res.Runs++
 			res.Latency = plat.Latency()
 			res.Effective = plat.Shards()
 			res.Imbalance = plat.Imbalance()
 		}
-		elapsed := time.Since(start)
-		totalCheckins += checkins
-		if rate := float64(checkins) / elapsed.Seconds(); rate > res.WorkersPerSec {
+		agg.add(pm)
+		if rate := pm.rate(); rate > res.WorkersPerSec {
 			res.WorkersPerSec = rate
-			res.NsPerOp = float64(elapsed.Nanoseconds()) / float64(checkins)
+			res.NsPerOp = float64(pm.elapsed.Nanoseconds()) / float64(pm.checkins)
 		}
 	}
-	runtime.ReadMemStats(&ms1)
-	res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(totalCheckins)
-	res.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(totalCheckins)
+	res.AllocsPerOp = agg.allocsPerOp()
+	res.BytesPerOp = agg.bytesPerOp()
 	return res, nil
 }
 

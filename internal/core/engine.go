@@ -25,12 +25,15 @@ type Engine struct {
 	// postIndex[t] is the caller's arrival clock when task t was posted
 	// (0 for tasks present from the start); lastUsed[t] is the largest
 	// worker index assigned to t so far. Together they give each task's
-	// absolute and post-relative latency in O(1).
-	postIndex []int
-	lastUsed  []int
-	// retiredMask mirrors the solver's closed set so the engine can answer
-	// per-task status without reaching into solver internals.
-	retiredMask []bool
+	// absolute and post-relative latency in O(1). Both are dense int32
+	// arrays keyed by TaskID — half the cache traffic of []int on 64-bit
+	// when the per-arrival loop touches them.
+	postIndex []int32
+	lastUsed  []int32
+	// retiredMask mirrors the solver's closed set (one bit per task) so the
+	// engine can answer per-task status without reaching into solver
+	// internals.
+	retiredMask []uint64
 	// batchAlgo is the solver's BatchOnline view, nil when unsupported; pq
 	// is the engine's reusable pinned query for batch runs (one snapshot
 	// load and one scratch buffer per run instead of per arrival).
@@ -63,9 +66,9 @@ func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 		algo:        factory(in, ci),
 		arr:         model.NewArrangement(len(in.Tasks)),
 		delta:       in.Delta(),
-		postIndex:   make([]int, len(in.Tasks)),
-		lastUsed:    make([]int, len(in.Tasks)),
-		retiredMask: make([]bool, len(in.Tasks)),
+		postIndex:   make([]int32, len(in.Tasks)),
+		lastUsed:    make([]int32, len(in.Tasks)),
+		retiredMask: make([]uint64, (len(in.Tasks)+63)/64),
 		pq:          ci.NewPinnedQuery(),
 		// A worker receives at most K assignments, so the outcome buffer
 		// never regrows after this.
@@ -120,8 +123,8 @@ func (e *Engine) Arrive(w model.Worker) []Outcome {
 		if completed {
 			e.completed++
 		}
-		if w.Index > e.lastUsed[t] {
-			e.lastUsed[t] = w.Index
+		if idx := int32(w.Index); idx > e.lastUsed[t] {
+			e.lastUsed[t] = idx
 		}
 		e.outBuf = append(e.outBuf, Outcome{Task: t, Credit: credit, Completed: completed})
 	}
@@ -152,9 +155,12 @@ func (e *Engine) PostTask(t model.Task, postIndex int) error {
 		return err
 	}
 	e.arr.EnsureTasks(int(t.ID) + 1)
-	e.postIndex = append(e.postIndex, postIndex)
+	e.postIndex = append(e.postIndex, int32(postIndex))
 	e.lastUsed = append(e.lastUsed, 0)
-	e.retiredMask = append(e.retiredMask, false)
+	if int(t.ID)>>6 == len(e.retiredMask) { // crossed into a fresh word
+		e.retiredMask = append(e.retiredMask, 0)
+	}
+	bitClear(e.retiredMask, t.ID)
 	lc.PostTask(t.ID)
 	return nil
 }
@@ -178,8 +184,8 @@ func (e *Engine) RetireTask(t model.TaskID) (wasOpen bool, err error) {
 		}
 	}
 	wasOpen = lc.RetireTask(t)
-	if !e.retiredMask[t] {
-		e.retiredMask[t] = true
+	if !bitGet(e.retiredMask, t) {
+		bitSet(e.retiredMask, t)
 		e.retired++
 	}
 	return wasOpen, nil
@@ -211,11 +217,11 @@ func (e *Engine) Retired() int { return e.retired }
 
 // TaskPostIndex returns the arrival clock recorded when task t was posted
 // (0 for initial tasks).
-func (e *Engine) TaskPostIndex(t model.TaskID) int { return e.postIndex[t] }
+func (e *Engine) TaskPostIndex(t model.TaskID) int { return int(e.postIndex[t]) }
 
 // TaskLastUsed returns the largest worker index assigned to task t so far
 // (0 when the task has no assignments).
-func (e *Engine) TaskLastUsed(t model.TaskID) int { return e.lastUsed[t] }
+func (e *Engine) TaskLastUsed(t model.TaskID) int { return int(e.lastUsed[t]) }
 
 // TaskCompleted reports whether task t has reached δ.
 func (e *Engine) TaskCompleted(t model.TaskID) bool {
@@ -223,7 +229,7 @@ func (e *Engine) TaskCompleted(t model.TaskID) bool {
 }
 
 // TaskRetired reports whether task t has been retired.
-func (e *Engine) TaskRetired(t model.TaskID) bool { return e.retiredMask[t] }
+func (e *Engine) TaskRetired(t model.TaskID) bool { return bitGet(e.retiredMask, t) }
 
 // Credits appends a snapshot of the per-task accumulated Acc* credit to dst
 // and returns the extended slice.

@@ -1,6 +1,10 @@
 package core
 
-import "ltc/internal/model"
+import (
+	"math/bits"
+
+	"ltc/internal/model"
+)
 
 // taskState is the shared bookkeeping of every LTC algorithm: the per-task
 // accumulated Acc* credit S[t] (line "S stores accumulated value for each
@@ -12,20 +16,42 @@ import "ltc/internal/model"
 // close retires a task so it stops counting toward remaining and stops
 // being assignable. With no opens/closes the behaviour is exactly the
 // fixed-task-set original.
+//
+// Layout: the per-task flags live in bitset words rather than []bool, so the
+// AAM switching-rule scan (totalNeed) skips 64 settled tasks per word test
+// instead of loading a byte per task. zeroNeed encodes need(t) == 0 EXACTLY
+// (closed, or S[t] ≥ δ with no epsilon): a clear bit therefore guarantees
+// δ − S[t] > 0, which keeps the summation term set — and hence the float
+// addition order and results — identical to the dense scan. Tasks inside
+// the model.CompletionEps band count as completed but still carry their
+// (tiny) residual need, exactly as before.
 type taskState struct {
 	delta     float64
 	s         []float64
-	closed    []bool
+	closed    []uint64 // bitset: task retired via close
+	zeroNeed  []uint64 // bitset: need(t) == 0 exactly (closed or S[t] ≥ δ)
 	remaining int
 }
 
+func bitGet(b []uint64, t model.TaskID) bool { return b[t>>6]&(1<<(uint(t)&63)) != 0 }
+func bitSet(b []uint64, t model.TaskID)      { b[t>>6] |= 1 << (uint(t) & 63) }
+func bitClear(b []uint64, t model.TaskID)    { b[t>>6] &^= 1 << (uint(t) & 63) }
+
 func newTaskState(numTasks int, delta float64) *taskState {
-	return &taskState{
+	words := (numTasks + 63) / 64
+	ts := &taskState{
 		delta:     delta,
 		s:         make([]float64, numTasks),
-		closed:    make([]bool, numTasks),
+		closed:    make([]uint64, words),
+		zeroNeed:  make([]uint64, words),
 		remaining: numTasks,
 	}
+	if delta <= 0 { // degenerate threshold: every task starts need-free
+		for t := 0; t < numTasks; t++ {
+			bitSet(ts.zeroNeed, model.TaskID(t))
+		}
+	}
+	return ts
 }
 
 // open extends the state with a newly posted task. Task IDs are dense:
@@ -35,7 +61,16 @@ func (ts *taskState) open(t model.TaskID) {
 		panic("core: task IDs must extend the dense ID space")
 	}
 	ts.s = append(ts.s, 0)
-	ts.closed = append(ts.closed, false)
+	if int(t)>>6 == len(ts.closed) { // crossed into a fresh word
+		ts.closed = append(ts.closed, 0)
+		ts.zeroNeed = append(ts.zeroNeed, 0)
+	}
+	bitClear(ts.closed, t)
+	if ts.delta <= 0 {
+		bitSet(ts.zeroNeed, t)
+	} else {
+		bitClear(ts.zeroNeed, t)
+	}
 	ts.remaining++
 }
 
@@ -44,11 +79,12 @@ func (ts *taskState) open(t model.TaskID) {
 // and not already closed) — the caller's signal that an incomplete task was
 // expired rather than finished.
 func (ts *taskState) close(t model.TaskID) bool {
-	if ts.closed[t] {
+	if bitGet(ts.closed, t) {
 		return false
 	}
 	open := !model.Completed(ts.s[t], ts.delta)
-	ts.closed[t] = true
+	bitSet(ts.closed, t)
+	bitSet(ts.zeroNeed, t)
 	if open {
 		ts.remaining--
 	}
@@ -58,13 +94,18 @@ func (ts *taskState) close(t model.TaskID) bool {
 // done reports whether task t needs no further work: it reached the quality
 // threshold or was retired.
 func (ts *taskState) done(t model.TaskID) bool {
-	return ts.closed[t] || model.Completed(ts.s[t], ts.delta)
+	return bitGet(ts.closed, t) || model.Completed(ts.s[t], ts.delta)
 }
 
 // add credits task t and reports whether this credit completed it.
 func (ts *taskState) add(t model.TaskID, credit float64) bool {
 	was := ts.done(t)
 	ts.s[t] += credit
+	if ts.s[t] >= ts.delta {
+		bitSet(ts.zeroNeed, t)
+	} else if !bitGet(ts.closed, t) {
+		bitClear(ts.zeroNeed, t)
+	}
 	if !was && ts.done(t) {
 		ts.remaining--
 		return true
@@ -78,7 +119,7 @@ func (ts *taskState) allDone() bool { return ts.remaining == 0 }
 // need returns max(0, δ − S[t]): the credit task t still needs. Retired
 // tasks need nothing.
 func (ts *taskState) need(t model.TaskID) float64 {
-	if ts.closed[t] {
+	if bitGet(ts.closed, t) {
 		return 0
 	}
 	n := ts.delta - ts.s[t]
@@ -90,14 +131,25 @@ func (ts *taskState) need(t model.TaskID) float64 {
 
 // totalNeed returns Σ_t max(0, δ − S[t]) and the largest single-task need —
 // the "average × K" numerator and "maximum" of AAM's switching rule.
-// Retired tasks contribute nothing.
+// Retired tasks contribute nothing. The scan walks the inverted zeroNeed
+// words, so a fully settled stretch of 64 tasks costs one comparison; the
+// tasks visited (and so the floating-point accumulation order) are exactly
+// the positive-need tasks of the dense scan, in ascending ID order.
 func (ts *taskState) totalNeed() (sum, maxNeed float64) {
-	for t := range ts.s {
-		n := ts.need(model.TaskID(t))
-		if n > 0 {
-			sum += n
-			if n > maxNeed {
-				maxNeed = n
+	n := len(ts.s)
+	for wi, w := range ts.zeroNeed {
+		inv := ^w
+		if hi := n - wi<<6; hi < 64 { // mask off bits beyond the dense space
+			inv &= 1<<uint(hi) - 1
+		}
+		for inv != 0 {
+			t := wi<<6 + bits.TrailingZeros64(inv)
+			inv &= inv - 1
+			if need := ts.delta - ts.s[t]; need > 0 {
+				sum += need
+				if need > maxNeed {
+					maxNeed = need
+				}
 			}
 		}
 	}

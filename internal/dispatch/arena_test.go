@@ -1,0 +1,40 @@
+package dispatch
+
+import "testing"
+
+// TestGrantArenaCarve pins the arena contract: carves are caller-owned
+// (full slice expressions, so appending to one never clobbers another),
+// zeroed, and requests larger than the block size get their own backing
+// block instead of a truncated one.
+func TestGrantArenaCarve(t *testing.T) {
+	var a grantArena
+
+	first := a.carve(3)
+	if len(first) != 3 || cap(first) != 3 {
+		t.Fatalf("carve(3): len=%d cap=%d, want 3/3", len(first), cap(first))
+	}
+	first[0] = TaskGrant{Task: 7}
+	second := a.carve(2)
+	grown := append(first, TaskGrant{Task: 9}) // must reallocate, not spill
+	if second[0] != (TaskGrant{}) || second[1] != (TaskGrant{}) {
+		t.Fatalf("append to a prior carve clobbered the next one: %+v", second)
+	}
+	if grown[3].Task != 9 || first[0].Task != 7 {
+		t.Fatal("carved slices lost their own writes")
+	}
+
+	// A request above the block size allocates a dedicated block of exactly
+	// that size; the arena is left empty for the next carve.
+	big := a.carve(grantBlockSize + 5)
+	if len(big) != grantBlockSize+5 || cap(big) != grantBlockSize+5 {
+		t.Fatalf("oversized carve: len=%d cap=%d, want %d", len(big), cap(big), grantBlockSize+5)
+	}
+	for i := range big {
+		if big[i] != (TaskGrant{}) {
+			t.Fatalf("oversized carve not zeroed at %d: %+v", i, big[i])
+		}
+	}
+	if next := a.carve(1); len(next) != 1 || &next[0] == &big[len(big)-1] {
+		t.Fatal("carve after an exactly-consumed block did not start a fresh one")
+	}
+}

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"runtime"
@@ -140,24 +141,22 @@ func TestAsyncCloseSemantics(t *testing.T) {
 	if err := d.CheckInAsync(in.Workers[0]); err != nil {
 		t.Fatal(err)
 	}
-	// Wait for the drainer to pop the first worker (freeing one slot)...
+	// Wait for the drainer to pop the first worker (freeing its slot)...
 	q := d.queues[0]
-	for {
-		q.mu.Lock()
-		empty := len(q.buf) == 0
-		q.mu.Unlock()
-		if empty {
-			break
-		}
+	for q.depth() != 0 {
 		runtime.Gosched()
 	}
-	// ...fill the slot again, and block a third enqueue on backpressure.
-	if err := d.CheckInAsync(in.Workers[1]); err != nil {
-		t.Fatal(err)
+	// ...refill the ring (QueueCap 1 rounds up to the 2-slot minimum), and
+	// block a further enqueue on backpressure.
+	for i := 1; i <= len(q.buf); i++ {
+		if err := d.CheckInAsync(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
+	queued := 1 + len(q.buf) // in flight: stalled w0 + the full ring
 	blocked := make(chan error, 1)
-	go func() { blocked <- d.CheckInAsync(in.Workers[2]) }()
-	for d.pending.Load() != 3 {
+	go func() { blocked <- d.CheckInAsync(in.Workers[len(q.buf)+1]) }()
+	for d.pending.Load() != int64(queued+1) {
 		runtime.Gosched()
 	}
 
@@ -174,22 +173,137 @@ func TestAsyncCloseSemantics(t *testing.T) {
 	s.mu.Unlock() // let the drainer ingest the backlog and exit
 	<-closed
 
-	if err := d.CheckInAsync(in.Workers[3]); !errors.Is(err, ErrClosed) {
+	if err := d.CheckInAsync(in.Workers[4]); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-close enqueue err = %v, want ErrClosed", err)
 	}
 	if err := d.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
 	d.Flush()
-	// The two queued workers were ingested, the refused one was not.
+	// The queued workers were ingested, the refused one was not.
+	if got := d.Arrived(); got != queued {
+		t.Fatalf("arrived %d, want %d", got, queued)
+	}
+	// The synchronous paths survive Close.
+	if _, err := d.CheckIn(in.Workers[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CheckInBatch(in.Workers[6:9]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncProducerParkWake: a producer that exhausts its spin budget parks
+// on the ring's notFull condvar and is woken by the consumer's post-drain
+// broadcast — the parked slow path of the lock-free enqueue, driven
+// deterministically by stalling the drainer until the producer's waiter
+// registration is visible.
+func TestAsyncProducerParkWake(t *testing.T) {
+	in := lifecycleInstance(10, 50, 60, 23)
+	d, err := New(in, 1, lafFactory, Options{QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.shards[0]
+	s.mu.Lock()
+	if err := d.CheckInAsync(in.Workers[0]); err != nil {
+		t.Fatal(err)
+	}
+	q := d.queues[0]
+	for q.depth() != 0 {
+		runtime.Gosched()
+	}
+	for i := 1; i <= len(q.buf); i++ {
+		if err := d.CheckInAsync(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- d.CheckInAsync(in.Workers[len(q.buf)+1]) }()
+	for q.waiters.Load() == 0 { // wait until the producer is parked
+		runtime.Gosched()
+	}
+	s.mu.Unlock() // drain resumes: wakeProducers releases the parked enqueue
+	if err := <-blocked; err != nil {
+		t.Fatalf("parked enqueue err = %v, want nil", err)
+	}
+	d.Flush()
+	if got, want := d.Arrived(), len(q.buf)+2; got != want {
+		t.Fatalf("arrived %d, want %d", got, want)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncProducerParkCancel: a producer parked on backpressure with a
+// cancellable context is woken by the context's AfterFunc and returns
+// ctx.Err() without enqueuing.
+func TestAsyncProducerParkCancel(t *testing.T) {
+	in := lifecycleInstance(10, 50, 60, 29)
+	d, err := New(in, 1, lafFactory, Options{QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.shards[0]
+	s.mu.Lock()
+	if err := d.CheckInAsync(in.Workers[0]); err != nil {
+		t.Fatal(err)
+	}
+	q := d.queues[0]
+	for q.depth() != 0 {
+		runtime.Gosched()
+	}
+	for i := 1; i <= len(q.buf); i++ {
+		if err := d.CheckInAsync(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() { blocked <- d.CheckInAsyncCtx(ctx, in.Workers[len(q.buf)+1]) }()
+	for q.waiters.Load() == 0 { // wait until the producer is parked
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-blocked; !errors.Is(err, context.Canceled) {
+		t.Fatalf("parked enqueue err = %v, want context.Canceled", err)
+	}
+	s.mu.Unlock()
+	d.Flush()
+	if got, want := d.Arrived(), len(q.buf)+1; got != want {
+		t.Fatalf("arrived %d, want %d", got, want)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncDrainerParkWake: an idle drainer parks on notEmpty once its spin
+// budget runs dry, and the next enqueue's wakeConsumer signal brings it
+// back — covering the consumer side of the parked slow path.
+func TestAsyncDrainerParkWake(t *testing.T) {
+	in := testInstance(t, 0.02)
+	d, err := New(in, 1, lafFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInAsync(in.Workers[0]); err != nil {
+		t.Fatal(err)
+	}
+	d.Flush()
+	q := d.queues[0]
+	for !q.sleeping.Load() { // wait until the drainer is parked
+		runtime.Gosched()
+	}
+	if err := d.CheckInAsync(in.Workers[1]); err != nil {
+		t.Fatal(err)
+	}
+	d.Flush()
 	if got := d.Arrived(); got != 2 {
 		t.Fatalf("arrived %d, want 2", got)
 	}
-	// The synchronous paths survive Close.
-	if _, err := d.CheckIn(in.Workers[4]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := d.CheckInBatch(in.Workers[5:8]); err != nil {
+	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -251,6 +365,13 @@ func TestAsyncLifecycleStress(t *testing.T) {
 				return
 			}
 			lastResolved, lastTotal = resolved, total
+			// Imbalance locks shards one at a time; the max-over-mean of
+			// monotone counts stays in [1, shards] even without an atomic
+			// cut, churn and async drain included.
+			if im := d.Imbalance(); im < 1 || im > float64(d.NumShards()) {
+				t.Errorf("mid-churn Imbalance() = %v, want within [1, %d]", im, d.NumShards())
+				return
+			}
 			runtime.Gosched()
 		}
 	}()

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"fmt"
+	"slices"
 
 	"ltc/internal/events"
 	"ltc/internal/model"
@@ -27,40 +28,48 @@ import (
 // ErrBadWorkerIndex; an empty batch is a no-op. Safe for concurrent use
 // alongside every other dispatcher method.
 func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([]Receipt, error) {
+	return d.CheckInBatchInto(ws, nil)
+}
+
+// CheckInBatchInto is CheckInBatch appending into a caller-provided receipt
+// slice: the batch's receipts are appended to dst and the extended slice is
+// returned (dst may be nil). A caller recycling dst[:0] across batches pays
+// no per-batch receipt allocation once the slice has grown to the working
+// batch size — the allocation-free counterpart of CheckInBatch for
+// sustained ingestion loops. Error semantics are identical to CheckInBatch;
+// on ErrDone the returned slice holds dst plus the ingested prefix.
+func (d *Dispatcher) CheckInBatchInto(ws []model.Worker, dst []Receipt) ([]Receipt, error) {
 	for i, w := range ws {
 		if w.Index < 1 {
-			return nil, fmt.Errorf("%w: got %d at batch position %d", ErrBadWorkerIndex, w.Index, i)
+			return dst, fmt.Errorf("%w: got %d at batch position %d", ErrBadWorkerIndex, w.Index, i)
 		}
 	}
-	out := make([]Receipt, 0, len(ws))
+	dst = slices.Grow(dst, len(ws))
 	for i := 0; i < len(ws); {
 		if d.Done() {
-			return out, ErrDone
+			return dst, ErrDone
 		}
 		si := d.part.Locate(ws[i].Loc)
 		j := i + 1
 		for j < len(ws) && d.part.Locate(ws[j].Loc) == si {
 			j++
 		}
-		base := len(out)
-		out = out[:base+j-i]
-		consumed := d.ingestRun(si, ws[i:j], true, func(k int, r Receipt) {
-			out[base+k] = r
-		})
-		out = out[:base+consumed]
+		base := len(dst)
+		dst = dst[:base+j-i]
+		consumed := d.ingestRun(si, ws[i:j], true, dst[base:])
+		dst = dst[:base+consumed]
 		if consumed < j-i {
-			return out, ErrDone
+			return dst, ErrDone
 		}
 		i = j
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ingestRun offers a same-shard run of workers to shard si under one mutex
 // acquisition and one pinned candidate snapshot — the batched inner loop
 // shared by CheckInBatch and the async drainers. CheckIn is semantically a
-// run of length one but keeps its own allocation-lean body (the sink
-// closure would cost the per-call hot path two heap allocations);
+// run of length one but keeps its own allocation-lean body;
 // TestCheckInBatchMatchesSequential pins the two implementations together.
 //
 // truncate selects the completion semantics: when true the run stops before
@@ -69,17 +78,16 @@ func (d *Dispatcher) CheckInBatch(ws []model.Worker) ([]Receipt, error) {
 // when false such workers are consumed as bounced arrivals, exactly like
 // check-ins racing a momentarily-complete platform (the async contract).
 //
-// sink, when non-nil, is invoked once per consumed worker, in run order,
-// with the worker's position and its Receipt; the Receipt's Assignments
-// slice is freshly allocated and caller-owned. The async drainers pass a
-// nil sink and skip the per-worker grant allocation entirely. Global state
-// other threads read mid-run — the arrival clock anchoring PostTask
-// indices and the live-task countdown behind Done — is updated per worker,
-// so a long run never publishes stale values; pure outputs (latency
-// watermarks, the arrival total) fold in once per run, and lifecycle
-// events collected during the run are published after the shard mutex is
-// released.
-func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink func(i int, r Receipt)) (consumed int) {
+// out, when non-nil, must have len(run) slots; out[i] receives run[i]'s
+// Receipt, whose Assignments slice is carved from the shard arena and
+// caller-owned. The async drainers pass a nil out and skip the grant
+// carving entirely. Global state other threads read mid-run — the arrival
+// clock anchoring PostTask indices and the live-task countdown behind Done
+// — is updated per worker, so a long run never publishes stale values; pure
+// outputs (latency watermarks, the arrival total) fold in once per run, and
+// lifecycle events collected during the run are published after the shard
+// mutex is released.
+func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []Receipt) (consumed int) {
 	s := d.shards[si]
 	runMaxUsed, runMaxRel := 0, 0
 	// completions collects the run's TaskCompleted events while the shard
@@ -104,16 +112,16 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink f
 		if s.eng.Done() {
 			// The shard has no open tasks: the worker is consumed as a
 			// bounced arrival (CheckIn's empty receipt).
-			if sink != nil {
-				sink(i, Receipt{Worker: w.Index, Shard: si, Done: d.Done()})
+			if out != nil {
+				out[i] = Receipt{Worker: w.Index, Shard: si, Done: d.Done()}
 			}
 			continue
 		}
 		s.offered++
 		outcomes := s.eng.Arrive(w)
 		var grants []TaskGrant
-		if sink != nil && len(outcomes) > 0 {
-			grants = make([]TaskGrant, len(outcomes))
+		if out != nil && len(outcomes) > 0 {
+			grants = s.arena.carve(len(outcomes))
 		}
 		completedDelta := 0
 		for k, oc := range outcomes {
@@ -130,7 +138,7 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink f
 			}
 		}
 		if len(outcomes) > 0 {
-			s.workers[w.Index] = w
+			s.workers = append(s.workers, w)
 			if w.Index > runMaxUsed {
 				runMaxUsed = w.Index
 			}
@@ -138,8 +146,8 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, sink f
 		if completedDelta > 0 && d.remaining.Add(int64(-completedDelta)) == 0 {
 			platformDone = true
 		}
-		if sink != nil {
-			sink(i, Receipt{Worker: w.Index, Shard: si, Assignments: grants, Done: d.Done()})
+		if out != nil {
+			out[i] = Receipt{Worker: w.Index, Shard: si, Assignments: grants, Done: d.Done()}
 		}
 	}
 	s.eng.EndBatch()

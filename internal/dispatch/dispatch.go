@@ -60,9 +60,12 @@ const DefaultQueueCap = 1024
 // Options tunes the batched/asynchronous ingestion path and the shard
 // layout; the zero value is ready to use.
 type Options struct {
-	// QueueCap bounds each shard's CheckInAsync queue. Enqueues block
-	// (backpressure) while the owning shard's queue is full. 0 means
-	// DefaultQueueCap.
+	// QueueCap bounds each shard's CheckInAsync ring buffer. Enqueues block
+	// (backpressure) while the owning shard's ring is full. 0 means
+	// DefaultQueueCap. The capacity is rounded up to the next power of two,
+	// minimum 2 (slot mapping is a mask and the slot-sequence protocol
+	// needs two laps in flight), so the effective bound may be slightly
+	// larger than requested.
 	QueueCap int
 	// MaxDrain caps how many queued workers a shard's drainer ingests under
 	// one mutex acquisition. 0 drains everything queued (bounded by
@@ -98,9 +101,16 @@ type shard struct {
 	mu  sync.Mutex
 	eng *core.Engine
 	sub *model.SubInstance
-	// workers holds the workers offered to the shard's solver, in arrival
-	// order, keyed by global index for the merged-arrangement rebuild.
-	workers map[int]model.Worker
+	// workers holds the workers that received assignments, in arrival order
+	// (append-only — one amortized append on the hot path). The
+	// merged-arrangement rebuild, a cold path, indexes them by global index
+	// through a transient map; replaying the appends in order preserves the
+	// old map's last-write-wins semantics for repeated indices.
+	workers []model.Worker
+	// arena carves the TaskGrant slices handed out in Receipts, so the
+	// per-check-in grant cost is one amortized block allocation instead of
+	// one make per call. Guarded by mu like the rest of the shard.
+	arena grantArena
 	// routed counts every check-in that landed on the shard, including
 	// ones bounced because the shard had already completed its tasks.
 	routed int
@@ -187,9 +197,8 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	for i, sub := range part.Shards {
 		ci := model.NewCandidateIndex(sub.In)
 		d.shards[i] = &shard{
-			eng:     core.NewEngine(sub.In, ci, factory),
-			sub:     sub,
-			workers: make(map[int]model.Worker),
+			eng: core.NewEngine(sub.In, ci, factory),
+			sub: sub,
 		}
 		for local, gid := range sub.Global {
 			d.records[gid] = taskRecord{shard: int32(i), local: model.TaskID(local)}
@@ -266,7 +275,7 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	var grants []TaskGrant
 	maxRel, completedDelta := 0, 0
 	if len(outcomes) > 0 {
-		grants = make([]TaskGrant, len(outcomes))
+		grants = s.arena.carve(len(outcomes))
 		for i, oc := range outcomes {
 			grants[i] = TaskGrant{Task: s.sub.Global[oc.Task], Credit: oc.Credit, Completed: oc.Completed}
 			if oc.Completed {
@@ -276,7 +285,7 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 				maxRel = rel
 			}
 		}
-		s.workers[w.Index] = w
+		s.workers = append(s.workers, w)
 	}
 	s.mu.Unlock()
 
@@ -474,10 +483,7 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 			Latency:   s.eng.Arrangement().Latency(),
 		}
 		s.mu.Unlock()
-		q := d.queues[i]
-		q.mu.Lock()
-		out[i].QueueDepth = len(q.buf)
-		q.mu.Unlock()
+		out[i].QueueDepth = d.queues[i].depth()
 	}
 	return out
 }
@@ -489,6 +495,11 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 // uniform traffic fixed striping sits near 1.0 already; skewed scenarios
 // (hotspot, flash crowd) push it toward NumShards() unless the balanced
 // layout is active.
+//
+// Shards are locked one at a time (no global atomic cut), so concurrent
+// traffic can skew the sample toward later-read shards; the result is
+// still always ≥ 1.0 because each routed count is monotone non-negative
+// and a sample's maximum never sits below its mean.
 func (d *Dispatcher) Imbalance() float64 {
 	maxRouted, total := 0, 0
 	for _, s := range d.shards {
@@ -586,9 +597,13 @@ func (d *Dispatcher) Arrangement() *model.Arrangement {
 	merged := model.NewArrangement(int(d.total.Load()))
 	for _, s := range d.shards {
 		s.mu.Lock()
+		byIndex := make(map[int]model.Worker, len(s.workers))
+		for _, w := range s.workers {
+			byIndex[w.Index] = w
+		}
 		for _, p := range s.eng.Arrangement().Pairs {
 			srcTask := s.sub.SourceTask(p.Task)
-			w := s.workers[p.Worker]
+			w := byIndex[p.Worker]
 			acc := src.Model.Predict(w, srcTask)
 			merged.Add(w.Index, srcTask.ID, model.AccStar(acc))
 		}

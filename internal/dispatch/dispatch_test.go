@@ -3,6 +3,7 @@ package dispatch
 import (
 	"errors"
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -207,7 +208,11 @@ func TestCheckInAfterDone(t *testing.T) {
 // TestConcurrentCheckInStress hammers one dispatcher from many goroutines
 // (run with -race): every check-in must be accepted exactly once, shard
 // bookkeeping must stay consistent, and the merged arrangement must be
-// valid for the source instance.
+// valid for the source instance. A concurrent sampler pins the snapshot
+// invariants of the one-shard-at-a-time readers: Imbalance() stays within
+// [1, shards] mid-stream (the max of monotone non-negative per-shard
+// counts never sits below their mean, atomic cut or not) and ShardStats
+// always reports one per-shard-consistent entry per shard.
 func TestConcurrentCheckInStress(t *testing.T) {
 	in := testInstance(t, 0.05)
 	for _, shards := range []int{1, 4, 16} {
@@ -215,6 +220,36 @@ func TestConcurrentCheckInStress(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		samplerStop := make(chan struct{})
+		var samplerWG sync.WaitGroup
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				default:
+				}
+				if im := d.Imbalance(); im < 1 || im > float64(shards) {
+					t.Errorf("shards=%d: mid-stream Imbalance() = %v, want within [1, %d]", shards, im, shards)
+					return
+				}
+				routed := 0
+				for _, s := range d.ShardStats() {
+					if s.Workers < 0 || s.Offered > s.Workers {
+						t.Errorf("shards=%d: inconsistent shard snapshot %+v", shards, s)
+						return
+					}
+					routed += s.Workers
+				}
+				if routed > len(in.Workers) {
+					t.Errorf("shards=%d: snapshot routed %d workers, stream has %d", shards, routed, len(in.Workers))
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
 		var cursor atomic.Int64
 		var accepted atomic.Int64
 		var wg sync.WaitGroup
@@ -241,6 +276,8 @@ func TestConcurrentCheckInStress(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+		close(samplerStop)
+		samplerWG.Wait()
 		if !d.Done() {
 			t.Fatalf("shards=%d: incomplete after concurrent stream", shards)
 		}

@@ -232,22 +232,19 @@ func TestCheckInAsyncCtxCancelWhileBlocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := d.queues[0]
-	for { // wait for the drainer to pop the worker, freeing the slot
-		q.mu.Lock()
-		empty := len(q.buf) == 0
-		q.mu.Unlock()
-		if empty {
-			break
-		}
+	for q.depth() != 0 { // wait for the drainer to pop the worker, freeing the slot
 		runtime.Gosched()
 	}
-	if err := d.CheckInAsync(in.Workers[1]); err != nil { // refill the slot
-		t.Fatal(err)
+	for i := 1; i <= len(q.buf); i++ { // refill the ring (2-slot minimum)
+		if err := d.CheckInAsync(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
+	accepted := 1 + len(q.buf)
 	ctx, cancel := context.WithCancel(context.Background())
 	blocked := make(chan error, 1)
-	go func() { blocked <- d.CheckInAsyncCtx(ctx, in.Workers[2]) }()
-	for d.pending.Load() != 3 {
+	go func() { blocked <- d.CheckInAsyncCtx(ctx, in.Workers[len(q.buf)+1]) }()
+	for d.pending.Load() != int64(accepted+1) {
 		runtime.Gosched()
 	}
 	cancel()
@@ -256,20 +253,20 @@ func TestCheckInAsyncCtxCancelWhileBlocked(t *testing.T) {
 	}
 	s.mu.Unlock()
 	d.Flush()
-	// Exactly the two accepted workers arrived; the cancelled one is gone.
-	if got := d.Arrived(); got != 2 {
-		t.Fatalf("arrived %d, want 2", got)
+	// Exactly the accepted workers arrived; the cancelled one is gone.
+	if got := d.Arrived(); got != accepted {
+		t.Fatalf("arrived %d, want %d", got, accepted)
 	}
 	// The async path survives a cancellation: a fresh cancellable enqueue
 	// with a free slot succeeds without blocking.
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
-	if err := d.CheckInAsyncCtx(ctx2, in.Workers[3]); err != nil {
+	if err := d.CheckInAsyncCtx(ctx2, in.Workers[len(q.buf)+2]); err != nil {
 		t.Fatal(err)
 	}
 	d.Flush()
-	if got := d.Arrived(); got != 3 {
-		t.Fatalf("arrived %d, want 3", got)
+	if got := d.Arrived(); got != accepted+1 {
+		t.Fatalf("arrived %d, want %d", got, accepted+1)
 	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
@@ -291,23 +288,19 @@ func TestCheckInAsyncCtxClosedWhileBlocked(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := d.queues[0]
-	for {
-		q.mu.Lock()
-		empty := len(q.buf) == 0
-		q.mu.Unlock()
-		if empty {
-			break
-		}
+	for q.depth() != 0 {
 		runtime.Gosched()
 	}
-	if err := d.CheckInAsync(in.Workers[1]); err != nil {
-		t.Fatal(err)
+	for i := 1; i <= len(q.buf); i++ { // refill the ring (2-slot minimum)
+		if err := d.CheckInAsync(in.Workers[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	blocked := make(chan error, 1)
-	go func() { blocked <- d.CheckInAsyncCtx(ctx, in.Workers[2]) }()
-	for d.pending.Load() != 3 {
+	go func() { blocked <- d.CheckInAsyncCtx(ctx, in.Workers[len(q.buf)+1]) }()
+	for d.pending.Load() != int64(2+len(q.buf)) {
 		runtime.Gosched()
 	}
 	closed := make(chan struct{})

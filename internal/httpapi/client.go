@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 )
 
 // Client is a typed client for the ltcd gateway, used by the ltcbench
@@ -105,8 +107,11 @@ func (c *Client) Stats() (Stats, error) {
 // EventStream is an open GET /events subscription. It is single-reader;
 // Close (or cancelling the OpenEvents context) ends it.
 type EventStream struct {
-	resp *http.Response
-	sc   *bufio.Scanner
+	resp    *http.Response
+	sc      *bufio.Scanner
+	data    []string // data lines of the frame being accumulated
+	pending []Event  // decoded but not yet returned (multi-event frames)
+	closed  atomic.Bool
 }
 
 // OpenEvents subscribes to the gateway's event stream. When it returns
@@ -134,36 +139,88 @@ func (c *Client) OpenEvents(ctx context.Context) (*EventStream, error) {
 
 // Next blocks for the next event. It returns io.EOF when the stream ends —
 // including via Close or context cancellation.
+//
+// Framing follows the SSE spec: every "data:" line of a frame is kept and
+// the payload is the lines joined with "\n" (earlier versions overwrote it,
+// silently dropping all but the last line), comment lines (":...") are
+// ignored, and a blank line dispatches the frame. A payload carrying
+// several JSON values — a server that streams events without blank-line
+// separators — yields every event, in order, across successive Next calls.
 func (s *EventStream) Next() (Event, error) {
-	var data string
+	if len(s.pending) > 0 {
+		e := s.pending[0]
+		s.pending = s.pending[1:]
+		return e, nil
+	}
 	for s.sc.Scan() {
 		line := s.sc.Text()
 		switch {
-		case strings.HasPrefix(line, "data:"):
-			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
-		case line == "" && data != "":
-			var e Event
-			if err := json.Unmarshal([]byte(data), &e); err != nil {
-				return Event{}, fmt.Errorf("bad event frame %q: %w", data, err)
+		case line == "":
+			if len(s.data) == 0 {
+				continue // separator between frames we didn't accumulate
 			}
-			return e, nil
+			payload := strings.Join(s.data, "\n")
+			s.data = s.data[:0]
+			evs, err := decodeFrame(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			if len(evs) == 0 {
+				continue
+			}
+			s.pending = append(s.pending, evs[1:]...)
+			return evs[0], nil
+		case strings.HasPrefix(line, ":"):
+			// Comment line (keep-alives), ignored per spec.
+		case strings.HasPrefix(line, "data:"):
+			v := strings.TrimPrefix(line, "data:")
+			// At most one leading space after the colon is framing, not
+			// payload; any further whitespace belongs to the data.
+			s.data = append(s.data, strings.TrimPrefix(v, " "))
+		case line == "data":
+			s.data = append(s.data, "")
 		}
 	}
-	if err := s.sc.Err(); err != nil && !isClosedErr(err) {
+	if err := s.sc.Err(); err != nil && !s.closed.Load() && !isClosedErr(err) {
 		return Event{}, err
 	}
 	return Event{}, io.EOF
 }
 
-// Close tears the subscription down.
-func (s *EventStream) Close() error { return s.resp.Body.Close() }
+// decodeFrame decodes the joined data payload of one SSE frame. A frame
+// normally holds exactly one JSON event, but pathological framing (several
+// complete events between two blank lines) decodes to all of them so none
+// is dropped.
+func decodeFrame(payload string) ([]Event, error) {
+	dec := json.NewDecoder(strings.NewReader(payload))
+	var evs []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return evs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("bad event frame %q: %w", payload, err)
+		}
+		evs = append(evs, e)
+	}
+}
+
+// Close tears the subscription down. A Next blocked on the wire unblocks
+// with io.EOF.
+func (s *EventStream) Close() error {
+	s.closed.Store(true)
+	return s.resp.Body.Close()
+}
 
 // isClosedErr reports whether the scanner error is the expected result of
-// closing the stream (locally or via context cancellation).
+// tearing the stream down rather than a transport failure: a cancelled
+// request context, or a connection closed under the reader. Matched with
+// errors.Is — net.ErrClosed is the canonical sentinel for reads on closed
+// connections — never by error-string comparison. Reads that race with a
+// local Close are covered by the EventStream.closed flag instead, because
+// net/http reports those with an unexported, unwrapped error.
 func isClosedErr(err error) bool {
-	return errors.Is(err, context.Canceled) ||
-		strings.Contains(err.Error(), "use of closed network connection") ||
-		strings.Contains(err.Error(), "http: read on closed response body")
+	return errors.Is(err, context.Canceled) || errors.Is(err, net.ErrClosed)
 }
 
 // StreamEvents opens the event stream and invokes fn for every event until

@@ -1,0 +1,155 @@
+package httpapi
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseServer serves one canned /events response with raw, caller-controlled
+// framing — the fake server for parser regression tests. The body is
+// written in one piece; the client's scanner sees exactly these bytes.
+func sseServer(t *testing.T, body string) *Client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/events" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return &Client{Base: srv.URL}
+}
+
+// collect drains the stream until io.EOF, failing the test on any other
+// error.
+func collect(t *testing.T, st *EventStream) []Event {
+	t.Helper()
+	var evs []Event
+	for {
+		e, err := st.Next()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		evs = append(evs, e)
+	}
+}
+
+// TestEventStreamPathologicalFraming pins the SSE parser against framing
+// the old line-at-a-time parser mishandled: consecutive data lines without
+// a blank-line separator (the earlier event was silently overwritten), one
+// JSON document split across several data lines (the spec's \n join),
+// comment keep-alives, bare "data" lines, and a missing space after the
+// colon.
+func TestEventStreamPathologicalFraming(t *testing.T) {
+	body := strings.Join([]string{
+		": keep-alive comment, ignored",
+		`data: {"seq":1,"kind":"task_posted","task":10}`,
+		`data: {"seq":2,"kind":"task_retired","task":10}`, // same frame: must NOT clobber seq 1
+		"",
+		"data", // bare field name: empty data line, joined as "\n"
+		`data:{"seq":3,"kind":"task_completed","task":11}`, // no space after the colon
+		"",
+		`data: {"seq":4,`, // one JSON document split across data lines
+		`data:  "kind":"platform_done",`,
+		`data:  "task":0}`,
+		"",
+		"", // extra separators between frames are noise, not frames
+		`event: task_posted`,
+		`data: {"seq":5,"kind":"task_posted","task":12}`,
+		"",
+	}, "\n") + "\n"
+
+	st, err := sseServer(t, body).OpenEvents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+
+	evs := collect(t, st)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events %+v, want 5", len(evs), evs)
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d — frames dropped or reordered", i, e.Seq, i+1)
+		}
+	}
+	if evs[0].Kind != "task_posted" || evs[1].Kind != "task_retired" {
+		t.Fatalf("consecutive data lines decoded as %q, %q", evs[0].Kind, evs[1].Kind)
+	}
+	if evs[3].Kind != "platform_done" {
+		t.Fatalf("multi-line data frame decoded as %+v", evs[3])
+	}
+}
+
+// TestEventStreamBadFrame: a frame that isn't JSON surfaces as an error
+// naming the payload, not a silent skip.
+func TestEventStreamBadFrame(t *testing.T) {
+	st, err := sseServer(t, "data: not json\n\n").OpenEvents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "bad event frame") {
+		t.Fatalf("Next on garbage frame = %v, want bad-event-frame error", err)
+	}
+}
+
+// TestEventStreamCloseUnblocksNext: closing the stream while Next is
+// blocked on an idle connection yields io.EOF, not a transport error —
+// the errors.Is/closed-flag replacement for the old error-string matching.
+func TestEventStreamCloseUnblocksNext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // hold the stream open, never send an event
+	}))
+	defer srv.Close()
+	st, err := (&Client{Base: srv.URL}).OpenEvents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := st.Next()
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Next block on the wire
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != io.EOF {
+			t.Fatalf("Next after Close = %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+}
+
+// TestIsClosedErr pins the sentinel matching: wrapped context cancellation
+// and net.ErrClosed are teardown, anything else is a real failure.
+func TestIsClosedErr(t *testing.T) {
+	if !isClosedErr(fmt.Errorf("read: %w", context.Canceled)) {
+		t.Fatal("wrapped context.Canceled not recognized")
+	}
+	if !isClosedErr(fmt.Errorf("read tcp: %w", net.ErrClosed)) {
+		t.Fatal("wrapped net.ErrClosed not recognized")
+	}
+	if isClosedErr(io.ErrUnexpectedEOF) {
+		t.Fatal("unexpected EOF misread as clean teardown")
+	}
+}

@@ -58,7 +58,45 @@ type cellGrid struct {
 	origin     geo.Point
 	cellSize   float64
 	cols, rows int
-	cells      [][]int32
+	cells      []cell
+}
+
+// cell is one grid bucket in struct-of-arrays layout: ids[i] is the task at
+// (xs[i], ys[i]). Keeping the coordinates beside the ids lets the radius
+// filter of within sweep two contiguous float64 arrays instead of gathering
+// Task structs through the dense task table — the hot loop of every
+// candidate query touches only these slices.
+type cell struct {
+	ids []int32
+	xs  []float64
+	ys  []float64
+}
+
+// add returns the cell extended with one task, sharing the backing arrays
+// with the receiver up to their current lengths (full slice expressions cap
+// the shared views, so a concurrent reader of the previous snapshot never
+// observes the appends).
+func (c cell) add(id int32, p geo.Point) cell {
+	n := len(c.ids)
+	return cell{
+		ids: append(c.ids[:n:n], id),
+		xs:  append(c.xs[:n:n], p.X),
+		ys:  append(c.ys[:n:n], p.Y),
+	}
+}
+
+// without returns a fresh cell with task id filtered out.
+func (c cell) without(id int32) cell {
+	n := len(c.ids) - 1
+	nc := cell{ids: make([]int32, 0, n), xs: make([]float64, 0, n), ys: make([]float64, 0, n)}
+	for i, x := range c.ids {
+		if x != id {
+			nc.ids = append(nc.ids, x)
+			nc.xs = append(nc.xs, c.xs[i])
+			nc.ys = append(nc.ys, c.ys[i])
+		}
+	}
+	return nc
 }
 
 // idBufPool recycles the grid-query scratch buffers of Candidates. A pool
@@ -112,10 +150,10 @@ func newCellGrid(tasks []Task, cellSize float64) *cellGrid {
 		g.cols = int(math.Floor(rect.Width()/cellSize)) + 1
 		g.rows = int(math.Floor(rect.Height()/cellSize)) + 1
 	}
-	g.cells = make([][]int32, g.cols*g.rows)
+	g.cells = make([]cell, g.cols*g.rows)
 	for i, t := range tasks {
 		c := g.cellIndex(t.Loc)
-		g.cells[c] = append(g.cells[c], int32(i))
+		g.cells[c] = g.cells[c].add(int32(i), t.Loc)
 	}
 	return g
 }
@@ -137,18 +175,18 @@ func (g *cellGrid) cellIndex(p geo.Point) int {
 }
 
 // withCell returns a copy of the grid whose outer cell table is fresh (so
-// the previous snapshot keeps its view) but shares every cell slice except
-// the one at index c, which is replaced by ids.
-func (g *cellGrid) withCell(c int, ids []int32) *cellGrid {
+// the previous snapshot keeps its view) but shares every cell's slices
+// except the one at index c, which is replaced by nc.
+func (g *cellGrid) withCell(c int, nc cell) *cellGrid {
 	ng := &cellGrid{
 		origin:   g.origin,
 		cellSize: g.cellSize,
 		cols:     g.cols,
 		rows:     g.rows,
-		cells:    make([][]int32, len(g.cells)),
+		cells:    make([]cell, len(g.cells)),
 	}
 	copy(ng.cells, g.cells)
-	ng.cells[c] = ids
+	ng.cells[c] = nc
 	return ng
 }
 
@@ -190,8 +228,7 @@ func (ci *CandidateIndex) Insert(t Task) error {
 	}
 	if s.grid != nil {
 		c := s.grid.cellIndex(t.Loc)
-		ids := append(s.grid.cells[c][:len(s.grid.cells[c]):len(s.grid.cells[c])], int32(t.ID))
-		ns.grid = s.grid.withCell(c, ids)
+		ns.grid = s.grid.withCell(c, s.grid.cells[c].add(int32(t.ID), t.Loc))
 	}
 	ci.snap.Store(ns)
 	return nil
@@ -212,14 +249,7 @@ func (ci *CandidateIndex) Remove(id TaskID) error {
 	ns := &indexSnapshot{tasks: s.tasks, live: live, nLive: s.nLive - 1, grid: s.grid}
 	if s.grid != nil {
 		c := s.grid.cellIndex(s.tasks[id].Loc)
-		old := s.grid.cells[c]
-		ids := make([]int32, 0, len(old)-1)
-		for _, x := range old {
-			if x != int32(id) {
-				ids = append(ids, x)
-			}
-		}
-		ns.grid = s.grid.withCell(c, ids)
+		ns.grid = s.grid.withCell(c, s.grid.cells[c].without(int32(id)))
 	}
 	ci.snap.Store(ns)
 	return nil
@@ -261,7 +291,7 @@ func (ci *CandidateIndex) candidatesFrom(s *indexSnapshot, w Worker, dst []Candi
 // using (and returning) the caller's id scratch buffer. Grid results are
 // grouped by cell; sorting by id keeps the output deterministic.
 func (ci *CandidateIndex) scanGrid(s *indexSnapshot, w Worker, dst []Candidate, scratch []int32) ([]Candidate, []int32) {
-	ids := s.grid.within(w.Loc, ci.radius, s.tasks, scratch[:0])
+	ids := s.grid.within(w.Loc, ci.radius, scratch[:0])
 	sortInt32(ids)
 	for _, id := range ids {
 		t := s.tasks[id]
@@ -332,8 +362,10 @@ func (p *PinnedQuery) Candidates(w Worker, dst []Candidate) []Candidate {
 }
 
 // within appends the ids of all indexed tasks at Euclidean distance ≤ radius
-// from q (mirroring geo.GridIndex.Within's cell walk).
-func (g *cellGrid) within(q geo.Point, radius float64, tasks []Task, dst []int32) []int32 {
+// from q (mirroring geo.GridIndex.Within's cell walk). The filter reads each
+// cell's xs/ys arrays directly — one contiguous sweep per cell, no gather
+// through the task table.
+func (g *cellGrid) within(q geo.Point, radius float64, dst []int32) []int32 {
 	r2 := radius * radius
 	// Clamp every bound into the cell range (not just toward it): tasks
 	// posted outside the initial rect live clamped in the border cells, so a
@@ -346,8 +378,10 @@ func (g *cellGrid) within(q geo.Point, radius float64, tasks []Task, dst []int32
 	for cy := minCY; cy <= maxCY; cy++ {
 		rowBase := cy * g.cols
 		for cx := minCX; cx <= maxCX; cx++ {
-			for _, id := range g.cells[rowBase+cx] {
-				if tasks[id].Loc.Dist2(q) <= r2 {
+			c := &g.cells[rowBase+cx]
+			for i, id := range c.ids {
+				dx, dy := c.xs[i]-q.X, c.ys[i]-q.Y
+				if dx*dx+dy*dy <= r2 {
 					dst = append(dst, id)
 				}
 			}

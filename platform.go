@@ -181,6 +181,20 @@ func (p *Platform) CheckInBatch(ws []Worker) ([]Receipt, error) {
 	return out, nil
 }
 
+// CheckInBatchInto is CheckInBatch appending into a caller-provided receipt
+// slice: the batch's receipts are appended to dst (which may be nil) and
+// the extended slice is returned. A sustained ingestion loop recycling
+// dst[:0] across batches pays no per-batch receipt allocation once the
+// slice has grown to its working size. Error semantics match CheckInBatch;
+// on ErrPlatformDone the returned slice holds dst plus the ingested prefix.
+func (p *Platform) CheckInBatchInto(ws []Worker, dst []Receipt) ([]Receipt, error) {
+	out, err := p.d.CheckInBatchInto(ws, dst)
+	if err != nil {
+		return out, fmt.Errorf("ltc: %w", err)
+	}
+	return out, nil
+}
+
 // CheckInAsync enqueues the worker into its shard's bounded queue and
 // returns immediately — the fire-and-forget ingestion path. A background
 // drainer per shard pops runs of queued workers and processes each run
@@ -301,6 +315,13 @@ func (p *Platform) Balanced() bool { return p.d.Balanced() }
 // Shards() = everything on one shard; 1.0 by convention before any
 // check-in). Per-shard load accounts are in ShardStats (Workers and, for
 // the async path, QueueDepth).
+//
+// Concurrent snapshot semantics: shards are locked one at a time, so under
+// live traffic the sample is per-shard consistent but not a global atomic
+// cut — shards read later may include check-ins that arrived after earlier
+// shards were read. The value is still always ≥ 1.0: every per-shard count
+// is a monotone non-negative total, and the maximum of any sample is never
+// below its mean, torn cut or not.
 func (p *Platform) Imbalance() float64 { return p.d.Imbalance() }
 
 // Progress returns the number of resolved tasks (reached δ, or retired
@@ -315,6 +336,13 @@ func (p *Platform) TaskStatuses() []TaskStatus { return p.d.TaskStatuses() }
 // ShardStats snapshots per-shard progress: task counts, completion, routed
 // and offered workers, and the shard's latency in global arrival indices
 // (the platform latency is the max over shards).
+//
+// Like Imbalance, the snapshot locks shards one at a time: each entry is
+// internally consistent, but entries taken later can reflect check-ins that
+// arrived after earlier entries were read. Cross-shard aggregates computed
+// from one snapshot (sums, maxima of the monotone counters) are therefore
+// bounded by the platform's state at the first and last shard read, not an
+// instant between them.
 func (p *Platform) ShardStats() []ShardStats { return p.d.ShardStats() }
 
 // Credits appends a snapshot of the per-task accumulated Acc* credit to dst
