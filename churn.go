@@ -3,6 +3,8 @@ package ltc
 import (
 	"errors"
 	"fmt"
+
+	"ltc/internal/geo"
 )
 
 // ChurnReport summarises one sequential replay of a churn workload.
@@ -21,6 +23,30 @@ type ChurnReport struct {
 	Statuses []TaskStatus
 }
 
+// churnLoadSamplePrefix caps how much of the arrival stream feeds the
+// balanced layout's load profile, mirroring the dispatch layer's own
+// sample cap.
+const churnLoadSamplePrefix = 4096
+
+// churnLoadSample is the load profile a balanced churn replay packs
+// against: the live arrival prefix of the worker stream, in arrival order.
+// The default profile samples the instance's full worker set with a fixed
+// stride — an oracle over arrivals that haven't happened yet, which under
+// churn skews the layout toward late traffic while the late-posted tasks it
+// anticipates don't exist at layout time. The prefix is causally sound: it
+// is exactly what an operator could have observed before the stream ran.
+func churnLoadSample(cw *ChurnWorkload) []geo.Point {
+	n := min(len(cw.Instance.Workers), churnLoadSamplePrefix)
+	if n == 0 {
+		return nil
+	}
+	pts := make([]geo.Point, n)
+	for i, w := range cw.Instance.Workers[:n] {
+		pts[i] = w.Loc
+	}
+	return pts
+}
+
 // ReplayChurn drives a churn workload sequentially through a fresh
 // Platform: workers check in one by one, and each lifecycle event fires
 // once its arrival tick is reached — posts must come back with the plan's
@@ -28,11 +54,25 @@ type ChurnReport struct {
 // Events scheduled past the end of the worker stream (a TTL can outlive
 // it) fire after the last worker, so every planned expiry lands and the
 // report's Completed + Expired always covers the whole task set.
+//
+// With a balanced layout (WithBalancedShards or WithRebalance) and a plan
+// that posts tasks mid-stream, the layout's load profile is the live
+// arrival prefix of the worker stream instead of the default full-stream
+// sample — see churnLoadSample. Plans with no late posts keep the default
+// profile, so existing replays are unchanged.
 func ReplayChurn(cw *ChurnWorkload, algo Algorithm, opts ...Option) (*ChurnReport, error) {
+	if c := newConfig(opts); c.balanced && c.loadSample == nil && cw.PostedLate() > 0 {
+		if pts := churnLoadSample(cw); pts != nil {
+			opts = append(opts[:len(opts):len(opts)], withLoadSample(pts))
+		}
+	}
 	plat, err := NewPlatform(cw.Instance, algo, opts...)
 	if err != nil {
 		return nil, err
 	}
+	// The replay feeds synchronously, but Close also freezes the tile
+	// layout when WithRebalance is in play.
+	defer plat.Close()
 	rep := &ChurnReport{}
 	next, pendingPosts := 0, 0
 	for _, e := range cw.Events {

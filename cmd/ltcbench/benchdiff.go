@@ -30,6 +30,15 @@ func cellKey(r throughputResult, defFeeders int) string {
 	if r.Balanced {
 		k += "/balanced"
 	}
+	// Only-when-true, like the feeders normalization above: artifacts
+	// recorded before live re-sharding existed carry neither field
+	// (decoding as false) and keep their cell identity.
+	if r.Presampled {
+		k += "/presampled"
+	}
+	if r.Rebalanced {
+		k += "/rebalanced"
+	}
 	return k
 }
 
@@ -52,7 +61,15 @@ func cellKey(r throughputResult, defFeeders int) string {
 // no regression at all, tighter than the general tolerance). maxAllocs ≥ 0
 // bounds the candidate's per-op allocation count on every cell — the
 // steady-state zero-allocation claim, gated on the committed artifact.
-func runBenchDiff(basePath, candPath string, tolerance, hotspotGain, asyncFloor, maxAllocs float64) error {
+//
+// rushhourGain > 0 asserts the adaptive re-sharding claim *within the
+// candidate*: on rushhour at ≥ 8 shards, every rebalanced cell must show
+// live migration re-spreading the drifted load — its post-handoff
+// imbalance at least (1 + rushhourGain) times better than its presampled
+// static twin's — at near-parity throughput, and at least one such pair
+// must exist. See checkRebalanceGain for the exact terms and for why
+// flashcrowd and async pairs are informational.
+func runBenchDiff(basePath, candPath string, tolerance, hotspotGain, asyncFloor, maxAllocs, rushhourGain float64) error {
 	base, err := readArtifact(basePath)
 	if err != nil {
 		return err
@@ -129,6 +146,11 @@ func runBenchDiff(basePath, candPath string, tolerance, hotspotGain, asyncFloor,
 			return err
 		}
 	}
+	if rushhourGain > 0 {
+		if err := checkRebalanceGain(cand, rushhourGain); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -202,6 +224,127 @@ func checkHotspotGain(cand *throughputArtifact, minGain float64) error {
 	}
 	fmt.Printf("hotspot gain gate: balanced beats striping by ≥ %s%% on all %d pair(s)\n",
 		strconv.FormatFloat(minGain*100, 'g', -1, 64), pairs)
+	return nil
+}
+
+// rebalanceParityFloor is the throughput side of the re-sharding gate:
+// the rebalanced cell must keep at least this fraction of its static
+// twin's workers/sec. The artifacts are recorded on a single-core box,
+// where an imbalanced layout costs no parallelism — so balance converts
+// to throughput only under multi-core contention, and the committed
+// artifact can honestly pin "the layout follows the load" (the imbalance
+// ratio) plus "following it is close to free" (this floor), not a
+// single-core throughput win that the hardware cannot express. The floor
+// absorbs the real migration cost — each handoff pays O(open tasks) COW
+// candidate-index updates, and it peaks at 16 shards where the static
+// twin's per-shard scans are already short — which on the committed
+// artifact runs 0.67x at its worst (16 shards, batched, two feeders; the
+// 8-shard pairs all hold ≥ 0.94x).
+const rebalanceParityFloor = 0.65
+
+// checkRebalanceGain verifies the candidate's adaptive re-sharding claim
+// on the drifting scenarios at ≥ 8 shards: every rebalanced cell is
+// compared against its presampled static twin (same scenario, mode, shard
+// count, batch size and feeder count — the causal-prefix layout both
+// cells start from, see WithLoadPrefix). A gated pair passes when the
+// static twin's post-handoff load imbalance is at least (1 + minGain)
+// times the rebalanced cell's — live migration demonstrably re-spread the
+// drifting load — and the rebalanced cell's throughput holds
+// rebalanceParityFloor of the twin's.
+//
+// Only rushhour pairs in the percall and batch modes gate; at least one
+// must exist. Flashcrowd pairs are informational (a flash crowd is a
+// transient burst over a uniform background — any balanced pack spreads
+// it, so there is little standing imbalance to recover), and async pairs
+// are informational too: the drainer ingests in bursts, so the
+// rebalancer's arrival clock crosses few interval boundaries and the
+// final post-migration imbalance window is a tail fragment, not a steady
+// state.
+func checkRebalanceGain(cand *throughputArtifact, minGain float64) error {
+	type pairKey struct {
+		scenario string
+		mode     string
+		shards   int
+		batch    int
+		feeders  int
+	}
+	static := make(map[pairKey]throughputResult)
+	rebalanced := make(map[pairKey]throughputResult)
+	for _, r := range cand.Results {
+		if !driftScenario(r.Scenario) || r.Shards < 8 || !r.Balanced || !r.Presampled {
+			continue
+		}
+		f := r.Feeders
+		if f == 0 {
+			f = cand.Feeders
+		}
+		k := pairKey{r.Scenario, r.Mode, r.Shards, r.BatchSize, f}
+		if r.Rebalanced {
+			rebalanced[k] = r
+		} else {
+			static[k] = r
+		}
+	}
+	keys := make([]pairKey, 0, len(rebalanced))
+	for k := range rebalanced {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.scenario != b.scenario {
+			return a.scenario < b.scenario
+		}
+		if a.mode != b.mode {
+			return a.mode < b.mode
+		}
+		if a.shards != b.shards {
+			return a.shards < b.shards
+		}
+		if a.batch != b.batch {
+			return a.batch < b.batch
+		}
+		return a.feeders < b.feeders
+	})
+	gated, failures := 0, 0
+	for _, k := range keys {
+		r := rebalanced[k]
+		s, ok := static[k]
+		if !ok {
+			continue
+		}
+		parity := r.WorkersPerSec / s.WorkersPerSec
+		imbGain := 0.0
+		if r.Imbalance > 0 {
+			imbGain = s.Imbalance / r.Imbalance
+		}
+		verdict := "ok"
+		if k.scenario != "rushhour" || k.mode == "async" {
+			verdict = "info"
+		} else {
+			gated++
+			switch {
+			case imbGain < 1+minGain:
+				verdict = "STILL IMBALANCED"
+				failures++
+			case parity < rebalanceParityFloor:
+				verdict = "TOO SLOW"
+				failures++
+			}
+		}
+		fmt.Printf("%s %s/shards=%d/batch=%d/feeders=%d: imbalance %.2f → %.2f (%.2fx, %d migration(s)), throughput parity %.2fx %s\n",
+			k.scenario, k.mode, k.shards, k.batch, k.feeders, s.Imbalance, r.Imbalance, imbGain, r.Migrations, parity, verdict)
+	}
+	if gated == 0 {
+		return fmt.Errorf("rushhour gain gate: no rushhour rebalanced/presampled pair at ≥ 8 shards in the candidate")
+	}
+	if failures > 0 {
+		return fmt.Errorf("rushhour gain gate: %d pair(s) failed (need imbalance improvement ≥ +%s%% at ≥ %sx throughput parity)",
+			failures, strconv.FormatFloat(minGain*100, 'g', -1, 64),
+			strconv.FormatFloat(rebalanceParityFloor, 'g', -1, 64))
+	}
+	fmt.Printf("rushhour gain gate: live re-sharding improves rushhour imbalance by ≥ %s%% at ≥ %sx parity on all %d gated pair(s)\n",
+		strconv.FormatFloat(minGain*100, 'g', -1, 64),
+		strconv.FormatFloat(rebalanceParityFloor, 'g', -1, 64), gated)
 	return nil
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCellKeyRebalancedNormalization pins the artifact-compatibility rule
+// for the rebalanced axis: the "/rebalanced" suffix appears only when the
+// cell was actually measured under live re-sharding, so artifacts
+// recorded before the field existed — whose cells decode with Rebalanced
+// false — keep byte-identical keys and keep diffing against static
+// candidates, exactly like the feeders normalization before it.
+func TestCellKeyRebalancedNormalization(t *testing.T) {
+	static := throughputResult{Scenario: "rushhour", Mode: "batch", Shards: 8, BatchSize: 64, Balanced: true, Feeders: 2}
+	presampled := static
+	presampled.Presampled = true
+	rebal := presampled
+	rebal.Rebalanced = true
+	rebal.Migrations = 7
+
+	wantStatic := "rushhour/batch/shards=8/batch=64/feeders=2/balanced"
+	if got := cellKey(static, 1); got != wantStatic {
+		t.Fatalf("static key = %q, want %q", got, wantStatic)
+	}
+	if got, want := cellKey(presampled, 1), wantStatic+"/presampled"; got != want {
+		t.Fatalf("presampled key = %q, want %q", got, want)
+	}
+	if got, want := cellKey(rebal, 1), wantStatic+"/presampled/rebalanced"; got != want {
+		t.Fatalf("rebalanced key = %q, want %q", got, want)
+	}
+
+	// A pre-PR8 artifact cell carries neither rebalanced nor migrations;
+	// decoding must leave both at their zero values and reproduce the old
+	// key — including the feeders fallback to the artifact-level count.
+	old := []byte(`{"scenario":"rushhour","mode":"batch","shards":8,"batch_size":64,"balanced":true}`)
+	var legacy throughputResult
+	if err := json.Unmarshal(old, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Rebalanced || legacy.Migrations != 0 {
+		t.Fatalf("legacy cell decoded as rebalanced: %+v", legacy)
+	}
+	if got := cellKey(legacy, 2); got != wantStatic {
+		t.Fatalf("legacy key = %q, want %q", got, wantStatic)
+	}
+
+	// Round-tripping a static cell through JSON must not invent the new
+	// fields (omitempty), so freshly recorded static artifacts stay
+	// byte-comparable with pre-PR8 ones.
+	data, err := json.Marshal(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"presampled", "rebalanced", "migrations"} {
+		if _, ok := m[field]; ok {
+			t.Fatalf("static cell serialized a %q field: %s", field, data)
+		}
+	}
+}

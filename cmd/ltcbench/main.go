@@ -16,6 +16,7 @@
 //	ltcbench -exp throughput -shards 1,4,16  # sharded dispatch workers/sec
 //	ltcbench -exp throughput -batch 64,256 -async -json bench.json  # batched/async + artifact
 //	ltcbench -exp scenarios -shards 1,8 -async -json skew.json      # skewed-workload suite, striped vs balanced
+//	ltcbench -exp scenarios -shards 8,16 -rebalance                 # + adaptive live re-sharding cells
 //	ltcbench -exp scenarios -scenarios hotspot,flashcrowd           # scenario subset
 //	ltcbench -exp churn -churn-initial 0.6 -churn-ttl 400  # online posts + expiry
 package main
@@ -36,20 +37,21 @@ func main() {
 	log.SetPrefix("ltcbench: ")
 
 	var (
-		expID    = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5', 'throughput', 'scenarios' or 'churn'")
-		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
-		reps     = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
-		seed     = flag.Uint64("seed", 42, "base seed")
-		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: all five)")
-		csvPath  = flag.String("csv", "", "also write long-format CSV to this path ('-' for stdout)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		parallel = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
-		shards   = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput/scenarios (comma-separated)")
-		batch    = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput/scenarios (comma-separated)")
-		feeders  = flag.String("feeders", "", "feeder goroutine counts for -exp throughput/scenarios (comma-separated; default: GOMAXPROCS)")
-		async    = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput/scenarios")
-		jsonPath = flag.String("json", "", "write the -exp throughput/scenarios results as a JSON benchmark artifact to this path ('-' for stdout)")
+		expID     = flag.String("exp", "", "experiment id (see -list), 'all', 'table4', 'table5', 'throughput', 'scenarios' or 'churn'")
+		scale     = flag.Float64("scale", 0.05, "dataset scale factor (1.0 = full paper sizes)")
+		reps      = flag.Int("reps", 3, "repetitions per sweep point (paper used 30)")
+		seed      = flag.Uint64("seed", 42, "base seed")
+		algos     = flag.String("algos", "", "comma-separated algorithm subset (default: all five)")
+		csvPath   = flag.String("csv", "", "also write long-format CSV to this path ('-' for stdout)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		parallel  = flag.Int("parallel", 0, "sweep worker-pool size (0 = all cores; use 1 for paper-faithful runtime/memory metrics)")
+		shards    = flag.String("shards", "1,2,4,8", "shard counts for -exp throughput/scenarios (comma-separated)")
+		batch     = flag.String("batch", "", "also measure CheckInBatch at these batch sizes for -exp throughput/scenarios (comma-separated)")
+		feeders   = flag.String("feeders", "", "feeder goroutine counts for -exp throughput/scenarios (comma-separated; default: GOMAXPROCS)")
+		async     = flag.Bool("async", false, "also measure CheckInAsync ingestion for -exp throughput/scenarios")
+		rebalance = flag.Bool("rebalance", false, "also measure multi-shard -exp scenarios cells with adaptive live re-sharding (WithRebalance) on top of the balanced layout")
+		jsonPath  = flag.String("json", "", "write the -exp throughput/scenarios results as a JSON benchmark artifact to this path ('-' for stdout)")
 
 		scenarios = flag.String("scenarios", "", "scenario subset for -exp scenarios (comma-separated; default: all kinds)")
 
@@ -64,6 +66,7 @@ func main() {
 		candidate  = flag.String("candidate", "", "candidate throughput artifact for -exp benchdiff")
 		tolerance  = flag.Float64("tolerance", 0.10, "allowed fractional workers/s regression for -exp benchdiff")
 		hotGain    = flag.Float64("hotspot-gain", 0, "for -exp benchdiff: require the candidate's hotspot cells at ≥ 8 shards to show at least this fractional balanced-over-striped speedup (0 disables)")
+		rushGain   = flag.Float64("rushhour-gain", 0, "for -exp benchdiff: require the candidate's rushhour rebalanced cells at ≥ 8 shards to improve post-handoff imbalance over their presampled static twins by at least this fraction, at near-parity throughput (0 disables)")
 		asyncFloor = flag.Float64("async-floor", 0, "for -exp benchdiff: require every shared async cell's candidate/baseline workers/s ratio to be at least this (1.0 = no async regression at all; 0 disables)")
 		maxAllocs  = flag.Float64("max-allocs", -1, "for -exp benchdiff: fail when any candidate cell exceeds this many allocs/op (-1 disables; 0 = steady-state allocation-free)")
 	)
@@ -107,7 +110,7 @@ func main() {
 		if *algos != "" {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
 		}
-		if err := runScenarios(*scenarios, *shards, *batch, *feeders, *async, *jsonPath, *scale, *seed, algo); err != nil {
+		if err := runScenarios(*scenarios, *shards, *batch, *feeders, *async, *rebalance, *jsonPath, *scale, *seed, algo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -135,7 +138,7 @@ func main() {
 		if *baseline == "" || *candidate == "" {
 			log.Fatal("benchdiff needs -baseline and -candidate artifact paths")
 		}
-		if err := runBenchDiff(*baseline, *candidate, *tolerance, *hotGain, *asyncFloor, *maxAllocs); err != nil {
+		if err := runBenchDiff(*baseline, *candidate, *tolerance, *hotGain, *asyncFloor, *maxAllocs, *rushGain); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -15,12 +15,17 @@ import (
 // runScenarios measures check-in throughput under the skewed workload
 // suite: every requested scenario × shard count × ingestion mode, each
 // multi-shard cell under both fixed striping and the balanced tile→shard
-// layout (WithBalancedShards). The artifact schema is -exp throughput's
-// (throughputArtifact), with scenario/balanced/imbalance columns filled
-// in, so `-exp benchdiff` gates scenario artifacts exactly like plain
-// throughput ones — uniform-scenario cells share their keys with -exp
-// throughput cells and are directly comparable across PRs.
-func runScenarios(scenarioList, shardList, batchList, feedersList string, async bool, jsonPath string, scale float64, seed uint64, algoName string) error {
+// layout (WithBalancedShards) — and, when rebalance is set, drift
+// scenarios gain a comparison pair packed from the causal stream prefix
+// (WithLoadPrefix): once static, once with adaptive live re-sharding on
+// top (WithRebalance). The artifact schema is -exp throughput's
+// (throughputArtifact), with scenario/balanced/presampled/rebalanced/
+// imbalance columns filled in, so `-exp benchdiff` gates scenario
+// artifacts exactly like plain throughput ones — uniform-scenario cells
+// share their keys with -exp throughput cells and are directly comparable
+// across PRs, and presampled/rebalanced cells carry their own keys so
+// older artifacts never collide with them.
+func runScenarios(scenarioList, shardList, batchList, feedersList string, async, rebalance bool, jsonPath string, scale float64, seed uint64, algoName string) error {
 	var kinds []string
 	if scenarioList == "" {
 		kinds = ltc.ScenarioKinds()
@@ -74,18 +79,33 @@ func runScenarios(scenarioList, shardList, batchList, feedersList string, async 
 		}
 		for _, n := range shardCounts {
 			var cells []throughputResult
-			layouts := []bool{false}
+			type layoutSpec struct{ balanced, presampled, rebalanced bool }
+			layouts := []layoutSpec{{false, false, false}}
 			if n > 1 {
-				layouts = append(layouts, true) // balanced only differs beyond one shard
+				// Balanced only differs beyond one shard, and live
+				// re-sharding needs at least two shards to move between.
+				layouts = append(layouts, layoutSpec{true, false, false})
+				if rebalance && driftScenario(kind) {
+					// The rebalance comparison pair packs its layout from
+					// the causal stream prefix (WithLoadPrefix) on both
+					// sides: the full-stream oracle layout above already
+					// knows where the drift lands, so there is nothing
+					// left for migrations to fix there. The presampled
+					// static twin is the deployment-honest baseline the
+					// gate measures rebalancing against.
+					layouts = append(layouts,
+						layoutSpec{true, true, false},
+						layoutSpec{true, true, true})
+				}
 			}
-			for _, balanced := range layouts {
+			for _, l := range layouts {
 				for _, f := range feederCounts {
-					cells = append(cells, throughputResult{Scenario: kind, Mode: "percall", Shards: n, Balanced: balanced, Feeders: f})
+					cells = append(cells, throughputResult{Scenario: kind, Mode: "percall", Shards: n, Balanced: l.balanced, Presampled: l.presampled, Rebalanced: l.rebalanced, Feeders: f})
 					for _, b := range batchSizes {
-						cells = append(cells, throughputResult{Scenario: kind, Mode: "batch", Shards: n, BatchSize: b, Balanced: balanced, Feeders: f})
+						cells = append(cells, throughputResult{Scenario: kind, Mode: "batch", Shards: n, BatchSize: b, Balanced: l.balanced, Presampled: l.presampled, Rebalanced: l.rebalanced, Feeders: f})
 					}
 					if async {
-						cells = append(cells, throughputResult{Scenario: kind, Mode: "async", Shards: n, Balanced: balanced, Feeders: f})
+						cells = append(cells, throughputResult{Scenario: kind, Mode: "async", Shards: n, Balanced: l.balanced, Presampled: l.presampled, Rebalanced: l.rebalanced, Feeders: f})
 					}
 				}
 			}
@@ -98,6 +118,12 @@ func runScenarios(scenarioList, shardList, batchList, feedersList string, async 
 				layout := "striped"
 				if res.Balanced {
 					layout = "balanced"
+				}
+				if res.Presampled {
+					layout = "presampled"
+				}
+				if res.Rebalanced {
+					layout = "rebalanced"
 				}
 				batchCol := "-"
 				if res.BatchSize > 0 {
@@ -129,4 +155,11 @@ func runScenarios(scenarioList, shardList, batchList, feedersList string, async 
 		fmt.Printf("\nwrote benchmark artifact to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// driftScenario reports whether the scenario's load moves mid-stream —
+// the regime where any partition-time layout can go stale and live
+// re-sharding has something to chase.
+func driftScenario(kind string) bool {
+	return kind == "rushhour" || kind == "flashcrowd"
 }

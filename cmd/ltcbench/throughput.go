@@ -32,6 +32,21 @@ type throughputResult struct {
 	// Balanced marks cells measured under the load-aware tile→shard
 	// layout (WithBalancedShards) instead of fixed striping.
 	Balanced bool `json:"balanced,omitempty"`
+	// Presampled marks cells whose balanced layout was packed from only
+	// the causal prefix of the worker stream (WithLoadPrefix) instead of
+	// the default full-stream oracle sample — the profile a live
+	// deployment actually has at partition time. Drift scenarios measured
+	// against this layout expose the staleness that rebalancing corrects;
+	// the oracle-balanced cells (Presampled false) keep their identity.
+	Presampled bool `json:"presampled,omitempty"`
+	// Rebalanced marks cells measured with adaptive live re-sharding on
+	// top of the balanced layout (WithRebalance). Absent from artifacts
+	// recorded before migrations existed, which decodes as false — those
+	// cells keep their pre-rebalance identity in benchdiff (see cellKey).
+	Rebalanced bool `json:"rebalanced,omitempty"`
+	// Migrations is the last stream's committed tile-migration count (0
+	// unless Rebalanced).
+	Migrations int `json:"migrations,omitempty"`
 	// Feeders is the number of concurrent feeder goroutines the cell was
 	// measured with. 0 (artifacts recorded before the feeders axis existed)
 	// means the artifact's top-level Feeders value — benchdiff normalizes
@@ -284,6 +299,26 @@ func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, cell t
 	if cell.Balanced {
 		opts = append(opts, ltc.WithBalancedShards())
 	}
+	if cell.Presampled {
+		// Pack the layout from the first eighth of the stream — the causal
+		// profile a deployment has at launch. Under drift scenarios this
+		// layout goes stale mid-stream, which is the hole rebalancing fills.
+		opts = append(opts, ltc.WithLoadPrefix(len(in.Workers)/8))
+	}
+	if cell.Rebalanced {
+		// Scale the forecast window to the stream so the rebalancer folds
+		// and moves several times per run even at smoke scales — the
+		// service defaults assume an unbounded stream and would never fire
+		// inside one bench pass. Alpha 1 (no memory) reacts fastest, which
+		// matters when a whole run is only ~16 forecast windows long.
+		interval := len(in.Workers) / 16
+		if interval < 64 {
+			interval = 64
+		}
+		opts = append(opts, ltc.WithRebalance(ltc.RebalanceOptions{
+			Interval: interval, Threshold: 1.2, MaxMoves: 4, Alpha: 1,
+		}))
+	}
 	var agg passMetrics
 	for pass := 0; pass < passes; pass++ {
 		var pm passMetrics
@@ -302,6 +337,12 @@ func measureThroughput(in *ltc.Instance, algo ltc.Algorithm, seed uint64, cell t
 			res.Latency = plat.Latency()
 			res.Effective = plat.Shards()
 			res.Imbalance = plat.Imbalance()
+			res.Migrations = plat.Migrations()
+			// Release the platform between runs (a no-op after the async
+			// path already closed); outside the measured bracket.
+			if err := plat.Close(); err != nil {
+				return res, err
+			}
 		}
 		agg.add(pm)
 		if rate := pm.rate(); rate > res.WorkersPerSec {

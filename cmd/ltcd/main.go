@@ -15,6 +15,7 @@
 //
 //	ltcd                                  # AAM over Table IV @1%, :8080
 //	ltcd -scale 0.05 -shards 8 -algo LAF -addr 127.0.0.1:9000
+//	ltcd -shards 8 -rebalance             # adaptive live re-sharding
 //	ltcd -city newyork -scale 0.005
 //
 // Drive it end to end with the bundled load generator:
@@ -44,17 +45,18 @@ func main() {
 	log.SetPrefix("ltcd: ")
 
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		algoName = flag.String("algo", "AAM", "online algorithm: LAF, AAM or Random")
-		shards   = flag.Int("shards", 0, "spatial shard count (0 = GOMAXPROCS)")
-		balanced = flag.Bool("balanced", false, "use the load-aware balanced tile→shard layout instead of fixed striping")
-		scale    = flag.Float64("scale", 0.01, "workload scale factor")
-		seed     = flag.Uint64("seed", 42, "generation seed (also drives Random)")
-		epsilon  = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
-		k        = flag.Int("k", 6, "worker capacity K")
-		city     = flag.String("city", "", "serve a city trace's tasks instead: newyork or tokyo")
-		queueCap = flag.Int("queue-cap", 0, "per-shard async queue capacity (0 = default)")
-		eventBuf = flag.Int("event-buffer", 0, "per-subscriber event buffer (0 = default)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		algoName  = flag.String("algo", "AAM", "online algorithm: LAF, AAM or Random")
+		shards    = flag.Int("shards", 0, "spatial shard count (0 = GOMAXPROCS)")
+		balanced  = flag.Bool("balanced", false, "use the load-aware balanced tile→shard layout instead of fixed striping")
+		rebalance = flag.Bool("rebalance", false, "adaptively re-shard at runtime: forecast per-tile load online and migrate hot tiles between shards (implies -balanced)")
+		scale     = flag.Float64("scale", 0.01, "workload scale factor")
+		seed      = flag.Uint64("seed", 42, "generation seed (also drives Random)")
+		epsilon   = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
+		k         = flag.Int("k", 6, "worker capacity K")
+		city      = flag.String("city", "", "serve a city trace's tasks instead: newyork or tokyo")
+		queueCap  = flag.Int("queue-cap", 0, "per-shard async queue capacity (0 = default)")
+		eventBuf  = flag.Int("event-buffer", 0, "per-subscriber event buffer (0 = default)")
 	)
 	flag.Parse()
 
@@ -73,15 +75,22 @@ func main() {
 	if *balanced {
 		popts = append(popts, ltc.WithBalancedShards())
 	}
+	if *rebalance {
+		popts = append(popts, ltc.WithRebalance())
+	}
 	plat, err := ltc.NewPlatform(in, ltc.Algorithm(*algoName), popts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer plat.Close()
 	srv := &http.Server{Addr: *addr, Handler: httpapi.NewHandler(plat, ltc.Algorithm(*algoName), requested)}
 
 	layout := "striped"
 	if plat.Balanced() {
 		layout = "balanced"
+	}
+	if plat.Rebalancing() {
+		layout = "balanced+rebalance"
 	}
 	log.Printf("serving %s over %d tasks (%d shards, %s layout, ε=%.2f, K=%d) on %s",
 		*algoName, len(in.Tasks), plat.Shards(), layout, in.Epsilon, in.K, *addr)
@@ -103,7 +112,12 @@ func main() {
 	if err := <-done; err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	log.Printf("final: latency=%d workers=%d done=%v", plat.Latency(), plat.WorkersSeen(), plat.Done())
+	if plat.Rebalancing() {
+		log.Printf("final: latency=%d workers=%d done=%v migrations=%d",
+			plat.Latency(), plat.WorkersSeen(), plat.Done(), plat.Migrations())
+	} else {
+		log.Printf("final: latency=%d workers=%d done=%v", plat.Latency(), plat.WorkersSeen(), plat.Done())
+	}
 }
 
 // buildInstance generates the served task set: the synthetic Table IV

@@ -14,6 +14,7 @@
 //	ltcsim -shards 8 -events     # ...printing the completion stream live
 //	ltcsim -scenario hotspot -shards 8             # skewed traffic on fixed striping
 //	ltcsim -scenario hotspot -shards 8 -balanced   # ...with the load-aware layout
+//	ltcsim -scenario hotspot -shards 8 -rebalance  # ...re-sharding live mid-stream
 //	ltcsim -scenario flashcrowd -churn 0.4 -ttl 500  # skewed dynamic-task replay
 package main
 
@@ -35,22 +36,23 @@ func main() {
 	log.SetPrefix("ltcsim: ")
 
 	var (
-		tasks    = flag.Int("tasks", 150, "number of tasks (synthetic)")
-		workers  = flag.Int("workers", 2000, "number of workers (synthetic)")
-		k        = flag.Int("k", 6, "worker capacity K")
-		epsilon  = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
-		seed     = flag.Uint64("seed", 1, "generation seed")
-		city     = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
-		scale    = flag.Float64("scale", 0.01, "city trace scale factor")
-		trials   = flag.Int("trials", 200, "voting simulation trials")
-		scenario = flag.String("scenario", "", "use a named synthetic workload: uniform, hotspot, flashcrowd, rushhour or sparse-frontier")
-		shards   = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
-		balanced = flag.Bool("balanced", false, "with -shards: use the load-aware balanced tile→shard layout instead of fixed striping")
-		batch    = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
-		async    = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
-		events   = flag.Bool("events", false, "with -shards: subscribe to the platform event stream and print completions live instead of polling")
-		churn    = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
-		ttl      = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
+		tasks     = flag.Int("tasks", 150, "number of tasks (synthetic)")
+		workers   = flag.Int("workers", 2000, "number of workers (synthetic)")
+		k         = flag.Int("k", 6, "worker capacity K")
+		epsilon   = flag.Float64("epsilon", 0.10, "tolerable error rate ε")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		city      = flag.String("city", "", "use a check-in trace instead: newyork or tokyo")
+		scale     = flag.Float64("scale", 0.01, "city trace scale factor")
+		trials    = flag.Int("trials", 200, "voting simulation trials")
+		scenario  = flag.String("scenario", "", "use a named synthetic workload: uniform, hotspot, flashcrowd, rushhour or sparse-frontier")
+		shards    = flag.Int("shards", 0, "also run the online algorithms through a sharded Platform with this many shards")
+		balanced  = flag.Bool("balanced", false, "with -shards: use the load-aware balanced tile→shard layout instead of fixed striping")
+		rebalance = flag.Bool("rebalance", false, "with -shards: adaptively re-shard at runtime, migrating hot tiles between shards mid-stream (implies -balanced)")
+		batch     = flag.Int("batch", 0, "feed the sharded Platform through CheckInBatch with this batch size (0 = per-call)")
+		async     = flag.Bool("async", false, "feed the sharded Platform through CheckInAsync + Flush instead of per-call CheckIn")
+		events    = flag.Bool("events", false, "with -shards: subscribe to the platform event stream and print completions live instead of polling")
+		churn     = flag.Float64("churn", 0, "also run a dynamic-task scenario posting this fraction of tasks online (0 disables)")
+		ttl       = flag.Int("ttl", 0, "task TTL in worker arrivals for -churn (0 = no expiry)")
 	)
 	flag.Parse()
 
@@ -95,7 +97,7 @@ func main() {
 	fmt.Printf("\nall empirical error rates must sit below ε = %.2f (Hoeffding completion rule)\n", in.Epsilon)
 
 	if *shards > 0 {
-		if err := runSharded(in, *shards, *seed, *batch, *async, *events, *balanced); err != nil {
+		if err := runSharded(in, *shards, *seed, *batch, *async, *events, *balanced, *rebalance); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -103,7 +105,7 @@ func main() {
 		if *city != "" {
 			log.Fatal("-churn only supports synthetic workloads")
 		}
-		if err := runChurn(*tasks, *workers, *k, *epsilon, *seed, *churn, *ttl, *shards, *scenario, *balanced); err != nil {
+		if err := runChurn(*tasks, *workers, *k, *epsilon, *seed, *churn, *ttl, *shards, *scenario, *balanced, *rebalance); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -115,7 +117,7 @@ func main() {
 // follow its skewed placement (Scenario.GenerateChurn). Reported are the
 // paper's absolute latency and the lifecycle-aware relative latency
 // (worker index − task post index).
-func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac float64, ttl, shards int, scenario string, balanced bool) error {
+func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac float64, ttl, shards int, scenario string, balanced, rebalance bool) error {
 	cc := ltc.DefaultChurn(syntheticConfig(tasks, workers, k, epsilon, seed))
 	cc.InitialFraction = 1 - churnFrac
 	if cc.InitialFraction <= 0 {
@@ -144,6 +146,9 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 	opts := []ltc.Option{ltc.WithShards(shards), ltc.WithSeed(seed)}
 	if balanced {
 		opts = append(opts, ltc.WithBalancedShards())
+	}
+	if rebalance {
+		opts = append(opts, ltc.WithRebalance())
 	}
 	fmt.Printf("\ndynamic tasks (%d initial, %d posted online, TTL %d, %d shards):\n",
 		cw.InitialTasks, cw.TotalTasks-cw.InitialTasks, ttl, shards)
@@ -175,7 +180,7 @@ func runChurn(tasks, workers, k int, epsilon float64, seed uint64, churnFrac flo
 // striped run on a skewed -scenario. With -events each platform's
 // completion stream prints live from a Subscribe subscription instead of
 // being derived by polling.
-func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, events, balanced bool) error {
+func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, events, balanced, rebalance bool) error {
 	mode := "per-call"
 	if async {
 		mode = "async"
@@ -185,6 +190,9 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, eve
 	layout := "striped"
 	if balanced {
 		layout = "balanced"
+	}
+	if rebalance {
+		layout = "balanced+rebalance"
 	}
 	fmt.Printf("\nsharded dispatch (%d shards requested, %s ingestion, %s layout):\n", shards, mode, layout)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -199,9 +207,12 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, eve
 			return fmt.Errorf("%s: %w", algo, err)
 		}
 		opts := []ltc.Option{ltc.WithShards(shards), ltc.WithSeed(seed),
-			ltc.WithEventBuffer(2*len(in.Tasks) + 16)}
+			ltc.WithEventBuffer(2*len(in.Tasks) + 64)}
 		if balanced {
 			opts = append(opts, ltc.WithBalancedShards())
+		}
+		if rebalance {
+			opts = append(opts, ltc.WithRebalance())
 		}
 		plat, err := ltc.NewPlatform(in, algo, opts...)
 		if err != nil {
@@ -231,9 +242,16 @@ func runSharded(in *ltc.Instance, shards int, seed uint64, batch int, async, eve
 		for _, s := range plat.ShardStats() {
 			counts = append(counts, fmt.Sprintf("%d", s.Workers))
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d%s\t%d%s\t%.2f\t%s\n",
+		extra := ""
+		if plat.Rebalancing() {
+			extra = fmt.Sprintf(" (%d migrations)", plat.Migrations())
+		}
+		if err := plat.Close(); err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d%s\t%d%s\t%.2f\t%s%s\n",
 			algo, plat.Shards(), plat.Latency(), mark, base.Latency, baseMark,
-			plat.Imbalance(), strings.Join(counts, " "))
+			plat.Imbalance(), strings.Join(counts, " "), extra)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -267,6 +285,8 @@ func watchEvents(algo ltc.Algorithm, sub *ltc.Subscription) *eventWatcher {
 				fmt.Printf("  [%s] task %d posted at clock %d\n", algo, e.Task, e.PostIndex)
 			case ltc.EventTaskRetired:
 				fmt.Printf("  [%s] task %d retired\n", algo, e.Task)
+			case ltc.EventTileMigrated:
+				fmt.Printf("  [%s] tile %d migrated shard %d → %d\n", algo, e.Tile, e.FromShard, e.ToShard)
 			}
 		}
 		if n := sub.Dropped(); n > 0 {

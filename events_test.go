@@ -15,8 +15,16 @@ import (
 // state; once the platform quiesces, the fold must exactly reproduce what
 // the polled v1 surface (TaskStatuses, Progress) reports — every
 // completion delivered exactly once with its completing worker, every
-// retire and post visible, nothing invented, nothing dropped.
+// retire and post visible, nothing invented, nothing dropped. The
+// rebalancing variant races live tile migrations against the same feed:
+// the fold contract must survive tasks changing shards mid-stream, and the
+// TileMigrated events must account exactly for Migrations().
 func TestEventStreamFoldsToPolledState(t *testing.T) {
+	t.Run("static", func(t *testing.T) { checkEventStreamFold(t, false) })
+	t.Run("rebalancing", func(t *testing.T) { checkEventStreamFold(t, true) })
+}
+
+func checkEventStreamFold(t *testing.T, rebalance bool) {
 	cfg := DefaultWorkload().Scale(0.05) // 150 tasks, 2000 workers
 	cfg.Seed = 31
 	in, err := cfg.Generate()
@@ -24,15 +32,23 @@ func TestEventStreamFoldsToPolledState(t *testing.T) {
 		t.Fatal(err)
 	}
 	const maxPosts = 120
-	plat, err := NewPlatform(in, AAM, WithShards(8), WithQueueCap(64), WithMaxDrain(16),
+	opts := []Option{WithShards(8), WithQueueCap(64), WithMaxDrain(16),
 		// Room for every possible event: one completion per task, one
-		// retire per task, the posts, and the done transitions.
-		WithEventBuffer(4*(len(in.Tasks)+maxPosts)+64))
+		// retire per task, the posts, the done transitions, and (with
+		// rebalancing) a bounded number of migrations.
+		WithEventBuffer(4*(len(in.Tasks)+maxPosts) + 256)}
+	if rebalance {
+		opts = append(opts, WithRebalance(RebalanceOptions{Interval: 256, Threshold: 1.0, MaxMoves: 2, Alpha: 1}))
+	}
+	plat, err := NewPlatform(in, AAM, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if plat.Shards() != 8 {
 		t.Skipf("effective shards %d (need 8 for the scenario)", plat.Shards())
+	}
+	if rebalance && !plat.Rebalancing() {
+		t.Skip("layout not rebalanceable for this draw")
 	}
 	sub := plat.Subscribe()
 
@@ -92,6 +108,7 @@ func TestEventStreamFoldsToPolledState(t *testing.T) {
 	completedBy := make(map[TaskID]int)
 	retired := make(map[TaskID]bool)
 	posted := make(map[TaskID]int)
+	migrated := 0
 	var lastSeq uint64
 	for e := range sub.Events() {
 		if e.Seq <= lastSeq {
@@ -99,6 +116,11 @@ func TestEventStreamFoldsToPolledState(t *testing.T) {
 		}
 		lastSeq = e.Seq
 		switch e.Kind {
+		case EventTileMigrated:
+			if e.Tile < 0 || e.FromShard == e.ToShard || e.Task != -1 {
+				t.Fatalf("malformed TileMigrated %+v", e)
+			}
+			migrated++
 		case EventTaskCompleted:
 			if _, dup := completedBy[e.Task]; dup {
 				t.Fatalf("task %d completed twice", e.Task)
@@ -121,6 +143,12 @@ func TestEventStreamFoldsToPolledState(t *testing.T) {
 	if sub.Dropped() != 0 {
 		t.Fatalf("%d events dropped despite a sufficient buffer", sub.Dropped())
 	}
+	if migrated != plat.Migrations() {
+		t.Fatalf("%d TileMigrated events, Migrations() = %d", migrated, plat.Migrations())
+	}
+	if !rebalance && migrated != 0 {
+		t.Fatalf("static run emitted %d TileMigrated events", migrated)
+	}
 
 	// The fold must reproduce the polled surface exactly.
 	statuses := plat.TaskStatuses()
@@ -132,8 +160,14 @@ func TestEventStreamFoldsToPolledState(t *testing.T) {
 		if st.Completed != (completedBy[st.ID] != 0) {
 			t.Fatalf("task %d: polled completed=%v, folded=%v", st.ID, st.Completed, completedBy[st.ID] != 0)
 		}
-		if st.Completed && completedBy[st.ID] != st.LastUsed {
-			t.Fatalf("task %d: event says worker %d completed it, status says %d",
+		// The event carries the chronologically completing check-in; polled
+		// LastUsed is the largest index ever assigned. Async feeders ingest
+		// out of arrival-index order, so an earlier (higher-index) assignment
+		// can outrank the completing one — but never the other way around:
+		// the completing assignment updates LastUsed too, and a completed
+		// task receives no further assignments.
+		if st.Completed && completedBy[st.ID] > st.LastUsed {
+			t.Fatalf("task %d: completing worker %d outranks LastUsed %d",
 				st.ID, completedBy[st.ID], st.LastUsed)
 		}
 		if st.Retired != retired[st.ID] {

@@ -34,6 +34,15 @@ type Engine struct {
 	// engine can answer per-task status without reaching into solver
 	// internals.
 	retiredMask []uint64
+	// evictedMask marks tasks handed to another engine via EvictTask. An
+	// evicted task keeps its dense slot (IDs never shrink) but stops counting
+	// toward Progress and Retired: the adopting engine owns those counts now.
+	// The three counters carry the evicted tasks' contributions to completed,
+	// retired and the dense total, so the accessors can subtract them in O(1).
+	evictedMask      []uint64
+	evictedCount     int
+	evictedCompleted int
+	evictedRetired   int
 	// batchAlgo is the solver's BatchOnline view, nil when unsupported; pq
 	// is the engine's reusable pinned query for batch runs (one snapshot
 	// load and one scratch buffer per run instead of per arrival).
@@ -69,6 +78,7 @@ func NewEngine(in *model.Instance, ci *model.CandidateIndex, factory OnlineFacto
 		postIndex:   make([]int32, len(in.Tasks)),
 		lastUsed:    make([]int32, len(in.Tasks)),
 		retiredMask: make([]uint64, (len(in.Tasks)+63)/64),
+		evictedMask: make([]uint64, (len(in.Tasks)+63)/64),
 		pq:          ci.NewPinnedQuery(),
 		// A worker receives at most K assignments, so the outcome buffer
 		// never regrows after this.
@@ -159,11 +169,116 @@ func (e *Engine) PostTask(t model.Task, postIndex int) error {
 	e.lastUsed = append(e.lastUsed, 0)
 	if int(t.ID)>>6 == len(e.retiredMask) { // crossed into a fresh word
 		e.retiredMask = append(e.retiredMask, 0)
+		e.evictedMask = append(e.evictedMask, 0)
 	}
 	bitClear(e.retiredMask, t.ID)
 	lc.PostTask(t.ID)
 	return nil
 }
+
+// TaskSnapshot is one task's engine state in transit between shards: the
+// accumulated Acc* credit, the latency bookkeeping, and the two status bits.
+// EvictTask produces it on the migration source; AdoptTask replays it on the
+// target so the task's subsequent behaviour — completion threshold, latency
+// reporting, assignability — is indistinguishable from never having moved.
+type TaskSnapshot struct {
+	Credit    float64
+	PostIndex int
+	LastUsed  int
+	Completed bool
+	Retired   bool
+}
+
+// EvictTask hands task t's state out of this engine for adoption elsewhere.
+// The task leaves the candidate index and the solver (its local ID stays
+// allocated — dense spaces never shrink — as a closed ghost that is never
+// assigned again), and it stops counting toward Progress and Retired: the
+// adopting engine owns those counts from now on. Evicting an unknown or
+// already-evicted task is an error.
+func (e *Engine) EvictTask(t model.TaskID) (TaskSnapshot, error) {
+	if t < 0 || int(t) >= len(e.arr.Accumulated) {
+		return TaskSnapshot{}, fmt.Errorf("core: evict of unknown task %d", t)
+	}
+	lc, ok := e.algo.(TaskLifecycle)
+	if !ok {
+		return TaskSnapshot{}, fmt.Errorf("%w: %s", ErrNoLifecycle, e.algo.Name())
+	}
+	if bitGet(e.evictedMask, t) {
+		return TaskSnapshot{}, fmt.Errorf("core: task %d already evicted", t)
+	}
+	snap := TaskSnapshot{
+		Credit:    e.arr.Accumulated[t],
+		PostIndex: int(e.postIndex[t]),
+		LastUsed:  int(e.lastUsed[t]),
+		Completed: model.Completed(e.arr.Accumulated[t], e.delta),
+		Retired:   bitGet(e.retiredMask, t),
+	}
+	if e.ci.Live(t) {
+		if err := e.ci.Remove(t); err != nil {
+			return TaskSnapshot{}, err
+		}
+	}
+	// Closing the task in the solver releases the source's interest in it:
+	// if it was still open, the solver stops waiting on it for Done — the
+	// target's solver now carries that obligation via adopt.
+	lc.RetireTask(t)
+	bitSet(e.evictedMask, t)
+	e.evictedCount++
+	if snap.Completed {
+		e.evictedCompleted++
+	}
+	if snap.Retired {
+		e.evictedRetired++
+	}
+	return snap, nil
+}
+
+// AdoptTask extends the engine with a task evicted from another engine,
+// seeding credit, latency bookkeeping and status from the snapshot. Like
+// PostTask, the caller must already have appended t to the instance's Tasks
+// slice and t.ID must extend the dense ID space. A retired task is inserted
+// into and immediately removed from the candidate index so the index's dense
+// ID space stays in lockstep with the engine's.
+func (e *Engine) AdoptTask(t model.Task, snap TaskSnapshot) error {
+	mig, ok := e.algo.(TaskMigrator)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoMigration, e.algo.Name())
+	}
+	if n := len(e.arr.Accumulated); int(t.ID) != n {
+		return fmt.Errorf("core: adopted task ID %d does not extend the dense ID space (%d tasks)", t.ID, n)
+	}
+	if int(t.ID) >= len(e.in.Tasks) || e.in.Tasks[t.ID].Loc != t.Loc {
+		return fmt.Errorf("core: adopted task %d not present in the instance task table", t.ID)
+	}
+	if err := e.ci.Insert(t); err != nil {
+		return err
+	}
+	if snap.Retired {
+		if err := e.ci.Remove(t.ID); err != nil {
+			return err
+		}
+	}
+	e.arr.EnsureTasks(int(t.ID) + 1)
+	e.arr.Accumulated[t.ID] = snap.Credit
+	e.postIndex = append(e.postIndex, int32(snap.PostIndex))
+	e.lastUsed = append(e.lastUsed, int32(snap.LastUsed))
+	if int(t.ID)>>6 == len(e.retiredMask) { // crossed into a fresh word
+		e.retiredMask = append(e.retiredMask, 0)
+		e.evictedMask = append(e.evictedMask, 0)
+	}
+	if snap.Retired {
+		bitSet(e.retiredMask, t.ID)
+		e.retired++
+	}
+	if snap.Completed {
+		e.completed++
+	}
+	mig.AdoptTask(t.ID, snap.Credit, snap.Retired)
+	return nil
+}
+
+// TaskEvicted reports whether task t has been handed to another engine.
+func (e *Engine) TaskEvicted(t model.TaskID) bool { return bitGet(e.evictedMask, t) }
 
 // RetireTask removes task t from play: it leaves the candidate index, the
 // solver stops assigning it, and it no longer blocks Done. It reports
@@ -197,6 +312,15 @@ func (e *Engine) Done() bool { return e.algo.Done() }
 // Name returns the bound solver's algorithm name.
 func (e *Engine) Name() string { return e.algo.Name() }
 
+// CanMigrate reports whether the bound solver supports live task migration
+// — both eviction (TaskLifecycle) and adoption (TaskMigrator). All built-in
+// solvers do.
+func (e *Engine) CanMigrate() bool {
+	_, lc := e.algo.(TaskLifecycle)
+	_, mig := e.algo.(TaskMigrator)
+	return lc && mig
+}
+
 // Instance returns the instance the engine is bound to.
 func (e *Engine) Instance() *model.Instance { return e.in }
 
@@ -206,14 +330,15 @@ func (e *Engine) Arrangement() *model.Arrangement { return e.arr }
 
 // Progress returns the number of tasks that reached δ and the total number
 // of tasks ever tracked (retired tasks included in both totals when they
-// completed before retirement).
+// completed before retirement). Tasks evicted to another engine count in
+// neither: the adopting engine reports them.
 func (e *Engine) Progress() (completed, total int) {
-	return e.completed, len(e.arr.Accumulated)
+	return e.completed - e.evictedCompleted, len(e.arr.Accumulated) - e.evictedCount
 }
 
 // Retired returns how many tasks have been retired (whether or not they
-// completed first).
-func (e *Engine) Retired() int { return e.retired }
+// completed first), excluding tasks since evicted to another engine.
+func (e *Engine) Retired() int { return e.retired - e.evictedRetired }
 
 // TaskPostIndex returns the arrival clock recorded when task t was posted
 // (0 for initial tasks).

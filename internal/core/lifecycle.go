@@ -26,6 +26,26 @@ type TaskLifecycle interface {
 // that does not implement TaskLifecycle.
 var ErrNoLifecycle = errors.New("core: solver does not support dynamic task lifecycle")
 
+// TaskMigrator is implemented by online solvers whose per-task state can be
+// reconstructed on another solver from (credit, closed) alone — the contract
+// live tile migration rests on. AdoptTask is the migration counterpart of
+// TaskLifecycle.PostTask: it extends the solver's dense task set, but seeds
+// the new slot from the source solver's accumulated credit and closed flag
+// instead of zero, so the adopting solver behaves exactly as if it had made
+// the source's assignments itself.
+//
+// All of the paper's online solvers (LAF, AAM, Random) qualify: their whole
+// per-task state is the shared taskState, so adopt is lossless.
+type TaskMigrator interface {
+	// AdoptTask extends the solver's task set with a migrated task. IDs are
+	// dense: adopting id n is only valid when the solver tracks n tasks.
+	AdoptTask(t model.TaskID, credit float64, closed bool)
+}
+
+// ErrNoMigration is returned when a migration reaches a solver that does not
+// implement TaskMigrator.
+var ErrNoMigration = errors.New("core: solver does not support task migration")
+
 // PostTask implements TaskLifecycle.
 func (l *LAF) PostTask(t model.TaskID) { l.state.open(t) }
 
@@ -43,3 +63,18 @@ func (r *Random) PostTask(t model.TaskID) { r.state.open(t) }
 
 // RetireTask implements TaskLifecycle.
 func (r *Random) RetireTask(t model.TaskID) bool { return r.state.close(t) }
+
+// AdoptTask implements TaskMigrator.
+func (l *LAF) AdoptTask(t model.TaskID, credit float64, closed bool) {
+	l.state.adopt(t, credit, closed)
+}
+
+// AdoptTask implements TaskMigrator.
+func (a *AAM) AdoptTask(t model.TaskID, credit float64, closed bool) {
+	a.state.adopt(t, credit, closed)
+}
+
+// AdoptTask implements TaskMigrator.
+func (r *Random) AdoptTask(t model.TaskID, credit float64, closed bool) {
+	r.state.adopt(t, credit, closed)
+}

@@ -74,6 +74,38 @@ func (ts *taskState) open(t model.TaskID) {
 	ts.remaining++
 }
 
+// adopt extends the state with a task migrated in from another shard's
+// solver, seeding its accumulated credit (and closed flag) instead of
+// starting from zero. Like open, IDs are dense: adopting id n is only valid
+// when the state currently tracks n tasks. The resulting per-task state is
+// bit-identical to what open followed by the source's add/close history
+// would have produced: zeroNeed is set exactly when the task is closed or
+// its credit meets δ with no epsilon slack, and remaining counts the task
+// only while it is open and below the δ band.
+func (ts *taskState) adopt(t model.TaskID, credit float64, closed bool) {
+	if int(t) != len(ts.s) {
+		panic("core: task IDs must extend the dense ID space")
+	}
+	ts.s = append(ts.s, credit)
+	if int(t)>>6 == len(ts.closed) { // crossed into a fresh word
+		ts.closed = append(ts.closed, 0)
+		ts.zeroNeed = append(ts.zeroNeed, 0)
+	}
+	if closed {
+		bitSet(ts.closed, t)
+	} else {
+		bitClear(ts.closed, t)
+	}
+	if closed || credit >= ts.delta {
+		bitSet(ts.zeroNeed, t)
+	} else {
+		bitClear(ts.zeroNeed, t)
+	}
+	if !closed && !model.Completed(credit, ts.delta) {
+		ts.remaining++
+	}
+}
+
 // close retires task t: it no longer counts toward remaining and done
 // reports true for it. It reports whether the task was still open (below δ
 // and not already closed) — the caller's signal that an incomplete task was

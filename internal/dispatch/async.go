@@ -314,7 +314,10 @@ func (d *Dispatcher) CheckInAsyncCtx(ctx context.Context, w model.Worker) error 
 		return ErrClosed
 	}
 	d.ensureDrainers()
-	q := d.queues[d.part.Locate(w.Loc)]
+	// Routing (and the rebalancer's arrival forecast) happens at enqueue
+	// time; a tile migration between enqueue and drain leaves the worker
+	// draining at the old owner — a benign misroute, see MigrateTile.
+	q := d.queues[d.locate(w.Loc)]
 	d.pending.Add(1)
 	q.active.Add(1)
 	err := q.push(ctx, d, w)
@@ -342,8 +345,9 @@ func (d *Dispatcher) Flush() {
 // Close shuts the asynchronous ingestion path down: new CheckInAsync calls
 // fail with ErrClosed, enqueuers blocked on backpressure are released with
 // ErrClosed, the drainers ingest everything already queued and exit, and
-// Close waits for all of that to finish. Synchronous CheckIn/CheckInBatch
-// and the task lifecycle remain fully usable afterwards. Safe to call
+// Close waits for all of that to finish — including the online rebalancer,
+// which is stopped last. Synchronous CheckIn/CheckInBatch and the task
+// lifecycle remain fully usable afterwards (with the tile layout frozen). Safe to call
 // multiple times and from multiple goroutines; every call waits for the
 // complete shutdown.
 func (d *Dispatcher) Close() error {
@@ -358,6 +362,13 @@ func (d *Dispatcher) Close() error {
 	}
 	d.asyncMu.Unlock()
 	d.drainWG.Wait()
+	// Freeze the layout after the drainers are gone: halt waits out any
+	// in-flight rebalance pass, so no migration ever runs on a dispatcher
+	// the caller believes shut down. Synchronous check-ins stay usable
+	// after Close, but tiles no longer move under them.
+	if d.rb != nil {
+		d.rb.halt()
+	}
 	return nil
 }
 

@@ -45,13 +45,23 @@ func (d *Dispatcher) CheckInBatchInto(ws []model.Worker, dst []Receipt) ([]Recei
 		}
 	}
 	dst = slices.Grow(dst, len(ws))
+	// Each worker is located exactly once: the shard that ends a run is
+	// carried over as the next run's head, which keeps the rebalancer's
+	// per-tile arrival counts exact and saves a lookup at every boundary.
+	si := -1
 	for i := 0; i < len(ws); {
 		if d.Done() {
 			return dst, ErrDone
 		}
-		si := d.part.Locate(ws[i].Loc)
-		j := i + 1
-		for j < len(ws) && d.part.Locate(ws[j].Loc) == si {
+		if si < 0 {
+			si = d.locate(ws[i].Loc)
+		}
+		j, nextSi := i+1, -1
+		for j < len(ws) {
+			if sj := d.locate(ws[j].Loc); sj != si {
+				nextSi = sj
+				break
+			}
 			j++
 		}
 		base := len(dst)
@@ -61,7 +71,7 @@ func (d *Dispatcher) CheckInBatchInto(ws []model.Worker, dst []Receipt) ([]Recei
 		if consumed < j-i {
 			return dst, ErrDone
 		}
-		i = j
+		i, si = j, nextSi
 	}
 	return dst, nil
 }
@@ -156,7 +166,7 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []
 		atomicMax(&d.maxRel, int64(runMaxRel))
 	}
 	s.mu.Unlock()
-	d.arrived.Add(int64(consumed))
+	d.addArrived(int64(consumed))
 	for _, e := range completions {
 		d.bus.Publish(e)
 	}

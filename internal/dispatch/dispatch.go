@@ -49,8 +49,10 @@ var (
 	ErrUnknownTask = errors.New("dispatch: unknown task ID")
 	// ErrClosed is returned by CheckInAsync once Close has been called.
 	ErrClosed = errors.New("dispatch: dispatcher closed")
-	// ErrBadOptions is returned by New for negative tuning values.
-	ErrBadOptions = errors.New("dispatch: queue capacity and drain cap must be ≥ 0")
+	// ErrBadOptions is returned by New for out-of-range tuning values
+	// (negative queue capacity or drain cap, rebalance knobs outside their
+	// documented ranges).
+	ErrBadOptions = errors.New("dispatch: option value out of range")
 )
 
 // DefaultQueueCap is the per-shard CheckInAsync queue capacity used when
@@ -82,6 +84,21 @@ type Options struct {
 	// serves which tile, so skewed traffic (hotspots, flash crowds) no
 	// longer collapses onto one hot shard mutex.
 	Balanced bool
+	// LoadSample, when non-nil, overrides the balanced layout's load profile
+	// with the given points instead of sampling in.Workers. Callers that
+	// know the instance's worker table is not the arrival stream — churn
+	// replays, live feeds — pass the locations that will actually arrive,
+	// so the greedy pack packs against real traffic rather than a stale
+	// oracle. Ignored unless Balanced is set.
+	LoadSample []geo.Point
+	// Rebalance, when non-nil, enables adaptive live re-sharding on top of
+	// the balanced layout: the dispatcher learns per-tile arrival rates
+	// online and migrates tiles (routing plus full solver state) between
+	// shards mid-stream when the forecast load no longer matches the
+	// layout. Requires Balanced; silently inert on single-shard platforms
+	// (nothing to migrate between). The solver must support task migration
+	// (all built-in solvers do). See RebalanceOptions for the knobs.
+	Rebalance *RebalanceOptions
 }
 
 // maxLoadSample caps how many worker locations feed the balanced layout's
@@ -114,8 +131,17 @@ type shard struct {
 	// routed counts every check-in that landed on the shard, including
 	// ones bounced because the shard had already completed its tasks.
 	routed int
+	// routedBase is the routed count at the last tile migration; Imbalance
+	// measures routed−routedBase so the metric reflects the current tile
+	// ownership, not traffic served under layouts that no longer exist.
+	// Zero (the whole history) until the first migration.
+	routedBase int
 	// offered counts the workers actually presented to the solver.
 	offered int
+	// migratedIn/migratedOut count tile migrations that adopted tasks into /
+	// evicted tasks out of this shard.
+	migratedIn  int
+	migratedOut int
 }
 
 // taskRecord locates one global task: its owning shard and shard-local ID.
@@ -148,6 +174,12 @@ type Dispatcher struct {
 	// so the lock order above is unchanged.
 	bus *events.Bus
 
+	// rb is the online rebalancer (see rebalance.go); nil unless
+	// Options.Rebalance enabled it. migrations counts completed tile
+	// migrations (rebalancer-driven and explicit MigrateTile calls).
+	rb         *rebalancer
+	migrations atomic.Int64
+
 	// Async ingestion state (see async.go). queues is allocated in New;
 	// drainer goroutines start lazily on the first CheckInAsync.
 	opts      Options
@@ -176,12 +208,26 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	if o.QueueCap == 0 {
 		o.QueueCap = DefaultQueueCap
 	}
+	if o.Rebalance != nil {
+		if !o.Balanced {
+			return nil, ErrRebalanceLayout
+		}
+		r := o.Rebalance.withDefaults()
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		o.Rebalance = &r
+	}
 	if err := in.ValidateStreaming(); err != nil {
 		return nil, err
 	}
 	popt := model.PartitionOptions{Balanced: o.Balanced}
 	if o.Balanced {
-		popt.LoadSample = loadSample(in.Workers)
+		if o.LoadSample != nil {
+			popt.LoadSample = o.LoadSample
+		} else {
+			popt.LoadSample = loadSample(in.Workers)
+		}
 	}
 	part, err := model.PartitionInstanceOpts(in, nShards, popt)
 	if err != nil {
@@ -206,6 +252,12 @@ func New(in *model.Instance, nShards int, factory core.OnlineFactory, opts ...Op
 	}
 	d.remaining.Store(int64(len(in.Tasks)))
 	d.total.Store(int64(len(in.Tasks)))
+	if o.Rebalance != nil && part.Rebalanceable() {
+		if !d.shards[0].eng.CanMigrate() {
+			return nil, fmt.Errorf("%w: solver %s", core.ErrNoMigration, d.shards[0].eng.Name())
+		}
+		d.rb = newRebalancer(d, *o.Rebalance)
+	}
 	return d, nil
 }
 
@@ -253,21 +305,21 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	// revive it.
 	atomicMax(&d.maxSeen, int64(w.Index))
 	if d.Done() {
-		d.arrived.Add(1)
+		d.addArrived(1)
 		return Receipt{Worker: w.Index, Shard: -1, Done: true}, ErrDone
 	}
 	// Semantically a batch run of length one, but kept as a dedicated
 	// allocation-lean body: routing ingestRun's sink through a closure costs
 	// the hottest per-call path two heap allocations per check-in.
 	// TestCheckInBatchMatchesSequential pins the two paths together.
-	si := d.part.Locate(w.Loc)
+	si := d.locate(w.Loc)
 	s := d.shards[si]
 
 	s.mu.Lock()
 	s.routed++
 	if s.eng.Done() {
 		s.mu.Unlock()
-		d.arrived.Add(1)
+		d.addArrived(1)
 		return Receipt{Worker: w.Index, Shard: si, Done: d.Done()}, nil
 	}
 	s.offered++
@@ -289,7 +341,7 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	}
 	s.mu.Unlock()
 
-	d.arrived.Add(1)
+	d.addArrived(1)
 	if len(outcomes) > 0 {
 		atomicMax(&d.maxUsed, int64(w.Index))
 		atomicMax(&d.maxRel, int64(maxRel))
@@ -450,11 +502,16 @@ type ShardStats struct {
 	Retired   int
 	// Workers is the number of check-ins routed to the shard (including
 	// ones arriving after the shard completed); Offered of them were
-	// presented to the shard's solver. Workers is the shard's load
-	// account: it only ever grows, and the per-shard spread of Workers
-	// against its mean is the platform's load imbalance (see Imbalance).
+	// presented to the shard's solver. Workers is the shard's lifetime
+	// load account and only ever grows; Imbalance, by contrast, measures
+	// over the window since the last tile migration so the metric tracks
+	// the current layout (see Imbalance).
 	Workers int
 	Offered int
+	// MigratedIn/MigratedOut count tile migrations that handed tasks to /
+	// took tasks from this shard (0 without rebalancing).
+	MigratedIn  int
+	MigratedOut int
 	// QueueDepth is the shard's CheckInAsync backlog at snapshot time —
 	// workers enqueued but not yet drained (0 when the async path is
 	// unused). Persistent depth at one shard while others sit empty is
@@ -475,12 +532,14 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 		s.mu.Lock()
 		completed, total := s.eng.Progress()
 		out[i] = ShardStats{
-			Tasks:     total,
-			Completed: completed,
-			Retired:   s.eng.Retired(),
-			Workers:   s.routed,
-			Offered:   s.offered,
-			Latency:   s.eng.Arrangement().Latency(),
+			Tasks:       total,
+			Completed:   completed,
+			Retired:     s.eng.Retired(),
+			Workers:     s.routed,
+			Offered:     s.offered,
+			MigratedIn:  s.migratedIn,
+			MigratedOut: s.migratedOut,
+			Latency:     s.eng.Arrangement().Latency(),
 		}
 		s.mu.Unlock()
 		out[i].QueueDepth = d.queues[i].depth()
@@ -489,22 +548,29 @@ func (d *Dispatcher) ShardStats() []ShardStats {
 }
 
 // Imbalance reports the platform's load imbalance: the busiest shard's
-// routed check-ins over the per-shard mean. 1.0 is a perfectly even split,
-// NumShards() means every check-in landed on one shard; before any
-// check-in arrives the imbalance is 1.0 by convention. Under spatially
-// uniform traffic fixed striping sits near 1.0 already; skewed scenarios
-// (hotspot, flash crowd) push it toward NumShards() unless the balanced
-// layout is active.
+// routed check-ins over the per-shard mean, measured over the window since
+// the last tile migration (the whole run when no tile ever migrated). 1.0
+// is a perfectly even split, NumShards() means every windowed check-in
+// landed on one shard; an empty window — before any check-in, or right
+// after a migration — is 1.0 by convention. Under spatially uniform traffic
+// fixed striping sits near 1.0 already; skewed scenarios (hotspot, flash
+// crowd) push it toward NumShards() unless the balanced layout (or the
+// rebalancer) counters the skew.
+//
+// The window restarts at each migration because lifetime accounts would
+// pin the verdict to dead layouts: a shard that handed its hot tiles away
+// would stay "busiest" forever on traffic it no longer serves, and the
+// metric could never show that a rebalance worked.
 //
 // Shards are locked one at a time (no global atomic cut), so concurrent
 // traffic can skew the sample toward later-read shards; the result is
-// still always ≥ 1.0 because each routed count is monotone non-negative
+// still always ≥ 1.0 because each windowed count is monotone non-negative
 // and a sample's maximum never sits below its mean.
 func (d *Dispatcher) Imbalance() float64 {
 	maxRouted, total := 0, 0
 	for _, s := range d.shards {
 		s.mu.Lock()
-		r := s.routed
+		r := s.routed - s.routedBase
 		s.mu.Unlock()
 		total += r
 		if r > maxRouted {
@@ -573,10 +639,17 @@ func (d *Dispatcher) Credits(dst []float64) []float64 {
 	defer d.regMu.RUnlock()
 	base := len(dst)
 	dst = append(dst, make([]float64, int(d.total.Load()))...)
-	for _, s := range d.shards {
+	for si, s := range d.shards {
 		s.mu.Lock()
 		for local, acc := range s.eng.Arrangement().Accumulated {
-			dst[base+int(s.sub.Global[local])] = acc
+			gid := s.sub.Global[local]
+			// Skip evicted ghosts: a migrated task's stale source-side
+			// accumulator must not overwrite the live credit owned by the
+			// task's current shard (the registry names exactly one owner).
+			if rec := d.records[gid]; int(rec.shard) != si || rec.local != model.TaskID(local) {
+				continue
+			}
+			dst[base+int(gid)] = acc
 		}
 		s.mu.Unlock()
 	}
@@ -585,10 +658,15 @@ func (d *Dispatcher) Credits(dst []float64) []float64 {
 
 // Arrangement merges the per-shard arrangements into one over the source
 // instance (plus any posted tasks): worker indices are already global, task
-// IDs are mapped back via each shard's global table. Assignment credit is
-// re-derived from the source accuracy model, which yields the same float
-// additions in the same order as the shard engines performed, so
-// accumulated credit matches Credits exactly.
+// IDs are mapped back via each shard's global table. Assignment pairs stay
+// with the shard that made them — a migrated task contributes its
+// pre-migration pairs through its old shard and later ones through its new
+// owner, so the merged view is complete. Assignment credit is re-derived
+// from the source accuracy model, which yields the same float additions in
+// the same order as the shard engines performed, so accumulated credit
+// matches Credits exactly — except across a migration, where the shard
+// iteration order can reorder a task's additions and the totals agree only
+// up to float-summation noise (≪ CompletionEps).
 func (d *Dispatcher) Arrangement() *model.Arrangement {
 	// Pin the dense ID space during the merge (see Credits).
 	d.regMu.RLock()

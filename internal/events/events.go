@@ -36,6 +36,12 @@ const (
 	// later PostTask can revive the platform, so PlatformDone may fire
 	// again after further completions or retires.
 	PlatformDone
+	// TileMigrated fires after the rebalancer hands a tile (and its tasks)
+	// from one shard to another: Tile is the migrated task tile, FromShard
+	// and ToShard the old and new owners. Published after the routing swap
+	// is visible, so a subscriber that folds migration events always trails
+	// the table, never leads it.
+	TileMigrated
 )
 
 // String returns the kind's wire name, as served by the ltcd gateway.
@@ -49,6 +55,8 @@ func (k Kind) String() string {
 		return "task_completed"
 	case PlatformDone:
 		return "platform_done"
+	case TileMigrated:
+		return "tile_migrated"
 	}
 	return "unknown"
 }
@@ -67,6 +75,11 @@ type Event struct {
 	Worker int
 	// PostIndex is the arrival clock at post time (TaskPosted only).
 	PostIndex int
+	// Tile, FromShard and ToShard describe a migration (TileMigrated only,
+	// 0 otherwise — use Kind to discriminate).
+	Tile      int
+	FromShard int
+	ToShard   int
 }
 
 // Bus fans published events out to subscribers. The zero value is not

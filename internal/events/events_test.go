@@ -13,6 +13,7 @@ func TestKindStrings(t *testing.T) {
 		TaskRetired:   "task_retired",
 		TaskCompleted: "task_completed",
 		PlatformDone:  "platform_done",
+		TileMigrated:  "tile_migrated",
 		Kind(99):      "unknown",
 	} {
 		if got := k.String(); got != want {
@@ -153,5 +154,89 @@ func TestConcurrentPublishSubscribe(t *testing.T) {
 	}
 	if len(seen) != publishers*each {
 		t.Fatalf("received %d events, want %d", len(seen), publishers*each)
+	}
+}
+
+// TestSeqGapsEqualDropped is the bus conservation property: under
+// concurrent publishers (migration events mixed in) and any buffer size,
+// every subscriber's received sequence is strictly increasing and the sum
+// of its gaps equals exactly its Dropped() count — no event is ever both
+// delivered and counted dropped, and none vanishes uncounted.
+func TestSeqGapsEqualDropped(t *testing.T) {
+	b := NewBus()
+	const publishers, each = 4, 500
+	// Subscribers across the contention spectrum: a tiny buffer that drops
+	// most events, a mid-size one, and one large enough to keep everything.
+	subs := []*Subscription{b.Subscribe(1), b.Subscribe(64), b.Subscribe(publishers * each)}
+	drain := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if i%10 == 0 {
+					b.Publish(Event{Kind: TileMigrated, Task: -1, Tile: i, FromShard: p, ToShard: p + 1})
+				} else {
+					b.Publish(Event{Kind: TaskCompleted, Task: model.TaskID(p*each + i)})
+				}
+			}
+		}(p)
+	}
+	// A concurrent consumer on the mid-size subscription keeps its buffer
+	// draining while publishers race, so its gap pattern is irregular.
+	var midGaps, midReceived uint64
+	go func() {
+		defer close(drain)
+		var last uint64
+		for e := range subs[1].Events() {
+			if e.Seq <= last {
+				t.Errorf("mid subscriber seq not increasing: %d after %d", e.Seq, last)
+				return
+			}
+			midGaps += e.Seq - last - 1
+			last = e.Seq
+			midReceived++
+		}
+		// Events dropped after the last delivered one: the channel only
+		// closes after every publisher finished, so the final bus sequence
+		// is exactly the publish count.
+		midGaps += uint64(publishers*each) - last
+	}()
+	wg.Wait()
+	for _, s := range subs {
+		s.Close()
+	}
+	<-drain
+
+	total := uint64(publishers * each)
+	check := func(name string, received, gaps, dropped uint64) {
+		t.Helper()
+		if gaps != dropped {
+			t.Fatalf("%s: seq gaps %d != dropped %d", name, gaps, dropped)
+		}
+		if received+dropped != total {
+			t.Fatalf("%s: received %d + dropped %d != published %d", name, received, dropped, total)
+		}
+	}
+	for i, name := range []string{"tiny", "", "large"} {
+		if name == "" {
+			continue // the mid subscriber folded concurrently below
+		}
+		var received, gaps, last uint64
+		for e := range subs[i].Events() {
+			if e.Seq <= last {
+				t.Fatalf("%s: seq not increasing: %d after %d", name, e.Seq, last)
+			}
+			gaps += e.Seq - last - 1
+			last = e.Seq
+			received++
+		}
+		gaps += total - last // events dropped after the last delivered one
+		check(name, received, gaps, subs[i].Dropped())
+	}
+	check("mid", midReceived, midGaps, subs[1].Dropped())
+	if subs[2].Dropped() != 0 {
+		t.Fatalf("large subscriber dropped %d", subs[2].Dropped())
 	}
 }

@@ -107,6 +107,11 @@ type ShardStat struct {
 	// when the async path is unused).
 	QueueDepth int `json:"queue_depth"`
 	Latency    int `json:"latency"`
+	// MigratedIn/MigratedOut count the tasks this shard adopted from and
+	// handed to other shards through live tile migration (0 unless the
+	// gateway runs with -rebalance).
+	MigratedIn  int `json:"migrated_in,omitempty"`
+	MigratedOut int `json:"migrated_out,omitempty"`
 }
 
 // Stats is GET /stats's result: the platform's full progress snapshot.
@@ -118,35 +123,44 @@ type ShardStat struct {
 // check-ins over the per-shard mean (1.0 = even) — the skew-diagnosis
 // pair for gateways serving hotspot traffic.
 type Stats struct {
-	Algo            string      `json:"algo"`
-	Shards          int         `json:"shards"`
-	RequestedShards int         `json:"requested_shards"`
-	Balanced        bool        `json:"balanced,omitempty"`
-	Tasks           int         `json:"tasks"`
-	Latency         int         `json:"latency"`
-	RelativeLatency int         `json:"relative_latency"`
-	WorkersSeen     int         `json:"workers_seen"`
-	Resolved        int         `json:"resolved"`
-	Total           int         `json:"total"`
-	Done            bool        `json:"done"`
-	Imbalance       float64     `json:"imbalance"`
-	ShardStats      []ShardStat `json:"shard_stats"`
+	Algo            string  `json:"algo"`
+	Shards          int     `json:"shards"`
+	RequestedShards int     `json:"requested_shards"`
+	Balanced        bool    `json:"balanced,omitempty"`
+	Tasks           int     `json:"tasks"`
+	Latency         int     `json:"latency"`
+	RelativeLatency int     `json:"relative_latency"`
+	WorkersSeen     int     `json:"workers_seen"`
+	Resolved        int     `json:"resolved"`
+	Total           int     `json:"total"`
+	Done            bool    `json:"done"`
+	Imbalance       float64 `json:"imbalance"`
+	// Rebalanced reports whether adaptive live re-sharding is active, and
+	// Migrations how many tile migrations have committed so far.
+	Rebalanced bool        `json:"rebalanced,omitempty"`
+	Migrations int         `json:"migrations,omitempty"`
+	ShardStats []ShardStat `json:"shard_stats"`
 }
 
 // Event is the wire form of ltc.Event; Kind is the event kind's string
-// name (task_posted, task_retired, task_completed, platform_done), also
-// used as the SSE event name.
+// name (task_posted, task_retired, task_completed, platform_done,
+// tile_migrated), also used as the SSE event name. Tile, FromShard and
+// ToShard are only meaningful on tile_migrated frames (whose Task is -1).
 type Event struct {
 	Seq       uint64 `json:"seq"`
 	Kind      string `json:"kind"`
 	Task      int    `json:"task"`
 	Worker    int    `json:"worker,omitempty"`
 	PostIndex int    `json:"post_index,omitempty"`
+	Tile      int    `json:"tile,omitempty"`
+	FromShard int    `json:"from_shard,omitempty"`
+	ToShard   int    `json:"to_shard,omitempty"`
 }
 
 // FromEvent converts an in-process platform event.
 func FromEvent(e ltc.Event) Event {
-	return Event{Seq: e.Seq, Kind: e.Kind.String(), Task: int(e.Task), Worker: e.Worker, PostIndex: e.PostIndex}
+	return Event{Seq: e.Seq, Kind: e.Kind.String(), Task: int(e.Task), Worker: e.Worker, PostIndex: e.PostIndex,
+		Tile: e.Tile, FromShard: e.FromShard, ToShard: e.ToShard}
 }
 
 // Server serves a live Platform over HTTP.
@@ -276,12 +290,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Total:           total,
 		Done:            s.p.Done(),
 		Imbalance:       s.p.Imbalance(),
+		Rebalanced:      s.p.Rebalancing(),
+		Migrations:      s.p.Migrations(),
 	}
 	for _, sh := range s.p.ShardStats() {
 		st.ShardStats = append(st.ShardStats, ShardStat{
 			Tasks: sh.Tasks, Completed: sh.Completed, Retired: sh.Retired,
 			Workers: sh.Workers, Offered: sh.Offered, QueueDepth: sh.QueueDepth,
-			Latency: sh.Latency,
+			Latency: sh.Latency, MigratedIn: sh.MigratedIn, MigratedOut: sh.MigratedOut,
 		})
 		st.Tasks += sh.Tasks
 	}

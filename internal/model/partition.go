@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"ltc/internal/geo"
 )
@@ -66,11 +67,15 @@ func (s *SubInstance) TruncateLast() {
 // and Locate routes an arbitrary location (a worker check-in or a task
 // posted online) to its shard.
 //
-// The routing table is built from the initial task set and immutable after
-// construction — safe for concurrent Locate calls. Tasks posted later do not
-// change routing: they are owned by the shard Locate picks for their
-// location, which is by construction the same shard every worker at that
-// location routes to (so late-posted tasks are always reachable).
+// The routing table is built from the initial task set. For striped layouts
+// it is immutable after construction; balanced layouts additionally support
+// live tile migration (MigrateTile), which swaps tile→shard entries with
+// atomic stores — Locate reads the table with atomic loads, so routing stays
+// safe for concurrent use while a migration is in flight. Tasks posted after
+// construction do not change routing: they are owned by the shard Locate
+// picks for their location, which is by construction the same shard every
+// worker at that location routes to (so late-posted tasks are always
+// reachable).
 type Partition struct {
 	Source *Instance
 	Shards []*SubInstance
@@ -85,12 +90,27 @@ type Partition struct {
 	tileH      float64
 	cols, rows int
 	// tileShard maps a tile index to its shard, -1 for task-free tiles.
+	// Elements are read with atomic loads and swapped with atomic stores
+	// (MigrateTile); the slice itself never changes after construction.
 	tileShard []int32
-	// taskShard maps an initial global TaskID to its shard.
+	// taskShard maps an initial global TaskID to the shard the layout
+	// originally assigned it. Migration does not rewrite it — current
+	// ownership of migrated tasks lives in the dispatch layer's records;
+	// here it only backs the striped nearest-task fallback, which balanced
+	// (and so migratable) layouts never take.
 	taskShard []int32
 	// taskGrid answers nearest-task queries for locations whose own tile
 	// holds no tasks (routing fallback).
 	taskGrid *geo.GridIndex
+	// freeOwner (balanced layouts only) maps every tile to the task tile
+	// whose tasks serve its traffic; task tiles own themselves. It is the
+	// unit of migration: a task tile moves together with its free
+	// satellites, so routing and task ownership never diverge.
+	freeOwner []int32
+	// ownedTiles inverts freeOwner: the tiles (owner first) each task tile
+	// routes. Built once; MigrateTile walks it to swap a whole ownership
+	// group atomically per entry.
+	ownedTiles map[int32][]int32
 }
 
 // ErrBadShardCount is returned when a non-positive shard count is requested.
@@ -347,6 +367,20 @@ func (p *Partition) buildBalanced(in *Instance, n int, sample []geo.Point, rect 
 	for c := range p.tileShard {
 		p.tileShard[c] = shardOf[binOf[int(freeOwner[c])]]
 	}
+
+	// Keep the ownership structure: migration moves a task tile together
+	// with the free tiles it serves.
+	p.freeOwner = freeOwner
+	p.ownedTiles = make(map[int32][]int32, len(taskTiles))
+	for c, o := range freeOwner {
+		if int32(c) == o {
+			// Owner first, so a migration's routing swap starts at the tile
+			// whose tasks are moving.
+			p.ownedTiles[o] = append([]int32{o}, p.ownedTiles[o]...)
+		} else {
+			p.ownedTiles[o] = append(p.ownedTiles[o], int32(c))
+		}
+	}
 }
 
 // fineTiling picks a cols×rows grid of ≈ tiles near-square cells over rect,
@@ -475,9 +509,9 @@ func (p *Partition) TaskShard(t TaskID) int { return int(p.taskShard[t]) }
 
 // Locate routes a location to a shard: the shard of its enclosing tile, or
 // — when that tile holds no tasks — the shard of the nearest initial task.
-// Safe for concurrent use.
+// Safe for concurrent use, including while MigrateTile swaps entries.
 func (p *Partition) Locate(loc geo.Point) int {
-	if s := p.tileShard[p.tileIndex(loc)]; s >= 0 {
+	if s := atomic.LoadInt32(&p.tileShard[p.tileIndex(loc)]); s >= 0 {
 		return int(s)
 	}
 	id, _, ok := p.taskGrid.Nearest(loc)
@@ -485,6 +519,92 @@ func (p *Partition) Locate(loc geo.Point) int {
 		return 0 // unreachable: partitions always hold ≥ 1 task
 	}
 	return int(p.taskShard[id])
+}
+
+// ErrNotRebalanceable is returned by MigrateTile on layouts without the
+// ownership structure live migration needs (striped layouts, or balanced
+// packs that collapsed to one shard).
+var ErrNotRebalanceable = errors.New("model: partition layout does not support tile migration")
+
+// Rebalanceable reports whether the partition supports MigrateTile: only
+// balanced layouts carry the tile ownership structure, and a single-shard
+// layout has nowhere to migrate to.
+func (p *Partition) Rebalanceable() bool {
+	return p.Balanced && p.freeOwner != nil && len(p.Shards) > 1
+}
+
+// NumTiles returns the size of the tile grid (task-free tiles included).
+func (p *Partition) NumTiles() int { return p.cols * p.rows }
+
+// TileOf returns the tile index containing loc (clamped into the grid).
+func (p *Partition) TileOf(loc geo.Point) int { return p.tileIndex(loc) }
+
+// OwnerTile returns the task tile serving loc's traffic on a rebalanceable
+// layout (the migration unit loc belongs to), or -1 when the layout has no
+// ownership structure.
+func (p *Partition) OwnerTile(loc geo.Point) int {
+	if p.freeOwner == nil {
+		return -1
+	}
+	return int(p.freeOwner[p.tileIndex(loc)])
+}
+
+// LocateOwner is Locate plus the owner tile of the location, sharing one
+// tile computation — the hot-path variant the load forecaster rides on.
+// The owner tile is -1 on layouts without the ownership structure.
+func (p *Partition) LocateOwner(loc geo.Point) (shard, ownerTile int) {
+	c := p.tileIndex(loc)
+	if p.freeOwner != nil {
+		return int(atomic.LoadInt32(&p.tileShard[c])), int(p.freeOwner[c])
+	}
+	if s := atomic.LoadInt32(&p.tileShard[c]); s >= 0 {
+		return int(s), -1
+	}
+	id, _, ok := p.taskGrid.Nearest(loc)
+	if !ok {
+		return 0, -1
+	}
+	return int(p.taskShard[id]), -1
+}
+
+// OwnerTiles returns the task tiles of a rebalanceable layout — the units
+// migration can move — in ascending tile order. The result is a fresh slice.
+func (p *Partition) OwnerTiles() []int {
+	tiles := make([]int, 0, len(p.ownedTiles))
+	for c, o := range p.freeOwner {
+		if int32(c) == o {
+			tiles = append(tiles, c)
+		}
+	}
+	return tiles
+}
+
+// TileShard returns the shard currently routing the given tile (-1 for
+// task-free tiles of a striped layout). Safe for concurrent use.
+func (p *Partition) TileShard(tile int) int {
+	return int(atomic.LoadInt32(&p.tileShard[tile]))
+}
+
+// MigrateTile reroutes a task tile — and every free tile it serves — to the
+// given shard. Each entry swaps with one atomic store, so concurrent Locate
+// calls always read a valid shard; callers that need the task handoff to be
+// atomic with the routing swap (the dispatch layer) serialize MigrateTile
+// with both shards' ingestion locks. The tile must be a task tile (an owner
+// in the ownership structure); task-free tiles move only with their owner.
+func (p *Partition) MigrateTile(tile, shard int) error {
+	if !p.Rebalanceable() {
+		return ErrNotRebalanceable
+	}
+	if tile < 0 || tile >= len(p.tileShard) || p.freeOwner[tile] != int32(tile) {
+		return fmt.Errorf("model: tile %d is not a migratable task tile", tile)
+	}
+	if shard < 0 || shard >= len(p.Shards) {
+		return fmt.Errorf("model: migration target shard %d out of range [0,%d)", shard, len(p.Shards))
+	}
+	for _, c := range p.ownedTiles[int32(tile)] {
+		atomic.StoreInt32(&p.tileShard[c], int32(shard))
+	}
+	return nil
 }
 
 // tileIndex returns the tile containing loc, clamped to the tiling extent.

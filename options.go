@@ -1,5 +1,10 @@
 package ltc
 
+import (
+	"ltc/internal/dispatch"
+	"ltc/internal/geo"
+)
+
 // The v2 options system: every constructor and runner — Solve, SolveAll,
 // NewSession, NewPlatform, ReplayChurn — accepts the same composable
 // functional options, and each consumes the subset that applies to it
@@ -20,6 +25,9 @@ type Option interface {
 type config struct {
 	shards          int
 	balanced        bool
+	rebalance       *dispatch.RebalanceOptions
+	loadSample      []geo.Point
+	loadPrefix      int
 	seed            uint64
 	queueCap        int
 	maxDrain        int
@@ -62,6 +70,54 @@ func WithShards(n int) Option { return optionFunc(func(c *config) { c.shards = n
 // striped layout's, since shard boundaries move (see CONCURRENCY.md,
 // "Balanced shard layout"). Ignored outside NewPlatform and ReplayChurn.
 func WithBalancedShards() Option { return optionFunc(func(c *config) { c.balanced = true }) }
+
+// WithRebalance enables adaptive live re-sharding on top of the balanced
+// layout (it implies WithBalancedShards): the platform learns per-tile
+// arrival rates online (an EWMA folded every RebalanceOptions.Interval
+// arrivals) and migrates tiles — their routing entry and their tasks' full
+// solver state — from the forecast-heaviest shard to the lightest, without
+// stopping ingestion. Pass no argument for the defaults, or one
+// RebalanceOptions to tune the forecast interval, migration threshold,
+// moves-per-pass cap and EWMA smoothing (zero fields mean their defaults).
+// Rebalancing is inert on single-shard platforms. Migrations are observable
+// through Platform.Migrations, ShardStats.MigratedIn/MigratedOut and
+// EventTileMigrated; see CONCURRENCY.md, "Live tile migration". Ignored
+// outside NewPlatform and ReplayChurn.
+func WithRebalance(opts ...RebalanceOptions) Option {
+	return optionFunc(func(c *config) {
+		c.balanced = true
+		var r RebalanceOptions
+		if len(opts) > 0 {
+			r = opts[0]
+		}
+		c.rebalance = &r
+	})
+}
+
+// withLoadSample overrides the balanced layout's load profile — internal
+// plumbing for ReplayChurn, which packs against the live arrival prefix
+// instead of the full-stream oracle when tasks churn.
+func withLoadSample(pts []geo.Point) Option {
+	return optionFunc(func(c *config) { c.loadSample = pts })
+}
+
+// WithLoadPrefix restricts the balanced layout's load profile to the first
+// n workers of the instance's stream — the causally honest profile a live
+// deployment has when it partitions: arrivals that haven't happened yet
+// can't be sampled. The default profile strides over the whole worker set,
+// an oracle that already knows where late traffic lands; under drift
+// (rush-hour corridors, flash crowds) the prefix layout instead goes stale
+// as the stream moves, which is exactly the regime WithRebalance corrects.
+// Implies WithBalancedShards. n <= 0 or beyond the stream keeps the
+// default full-stream sampling; an explicit load profile (ReplayChurn's
+// churn prefix) takes precedence. Ignored outside NewPlatform and
+// ReplayChurn.
+func WithLoadPrefix(n int) Option {
+	return optionFunc(func(c *config) {
+		c.balanced = true
+		c.loadPrefix = n
+	})
+}
 
 // WithSeed sets the seed driving the Random algorithm (per shard on a
 // Platform). The deterministic algorithms ignore it; zero is a valid seed.

@@ -7,6 +7,7 @@ import (
 
 	"ltc/internal/dispatch"
 	"ltc/internal/events"
+	"ltc/internal/geo"
 )
 
 // Platform serves concurrent check-in streams: the task space is split into
@@ -81,6 +82,13 @@ type PlatformOptions struct {
 	MaxDrain int
 }
 
+// RebalanceOptions tunes the adaptive live re-sharding enabled by
+// WithRebalance: the arrival-count interval between forecast folds, the
+// imbalance threshold that triggers a pass, the per-pass migration cap and
+// the EWMA smoothing factor. The zero value of each field means its
+// default; see the dispatch layer's DefaultRebalance* constants.
+type RebalanceOptions = dispatch.RebalanceOptions
+
 // ShardStats is one shard's progress snapshot, re-exported from the
 // dispatch layer.
 type ShardStats = dispatch.ShardStats
@@ -111,6 +119,11 @@ const (
 	// EventPlatformDone fires when the count of open tasks reaches zero
 	// (again after every revival by PostTask).
 	EventPlatformDone = events.PlatformDone
+	// EventTileMigrated fires when live re-sharding (WithRebalance, or an
+	// explicit migration) moves a tile between shards; Event.Tile,
+	// Event.FromShard and Event.ToShard identify the move, and Event.Task
+	// is -1 (the event concerns no single task).
+	EventTileMigrated = events.TileMigrated
 )
 
 // NewPlatform builds a sharded platform running the given online algorithm
@@ -135,7 +148,20 @@ func NewPlatform(in *Instance, algo Algorithm, opts ...Option) (*Platform, error
 	if err != nil {
 		return nil, err
 	}
-	d, err := dispatch.New(in, c.shards, factory, dispatch.Options{QueueCap: c.queueCap, MaxDrain: c.maxDrain, Balanced: c.balanced})
+	if c.loadSample == nil && c.loadPrefix > 0 && c.loadPrefix < len(in.Workers) {
+		pts := make([]geo.Point, c.loadPrefix)
+		for i, w := range in.Workers[:c.loadPrefix] {
+			pts[i] = w.Loc
+		}
+		c.loadSample = pts
+	}
+	d, err := dispatch.New(in, c.shards, factory, dispatch.Options{
+		QueueCap:   c.queueCap,
+		MaxDrain:   c.maxDrain,
+		Balanced:   c.balanced,
+		LoadSample: c.loadSample,
+		Rebalance:  c.rebalance,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ltc: %w", err)
 	}
@@ -243,7 +269,8 @@ func (p *Platform) Close() error { return p.d.Close() }
 
 // Subscribe registers a subscriber for the platform's lifecycle events —
 // EventTaskPosted, EventTaskRetired, EventTaskCompleted, EventPlatformDone
-// — delivered in publication order through a bounded buffered channel
+// and, under live re-sharding, EventTileMigrated — delivered in
+// publication order through a bounded buffered channel
 // (capacity WithEventBuffer, default DefaultEventBuffer). Publishing never
 // blocks a check-in: a subscriber that lets its buffer fill loses events
 // (Subscription.Dropped counts them), while one that keeps up receives
@@ -310,11 +337,22 @@ func (p *Platform) Shards() int { return p.d.NumShards() }
 // coincide).
 func (p *Platform) Balanced() bool { return p.d.Balanced() }
 
+// Rebalancing reports whether adaptive live re-sharding is active
+// (WithRebalance on a multi-shard balanced platform; false when the layout
+// collapsed to one shard, where there is nothing to migrate).
+func (p *Platform) Rebalancing() bool { return p.d.Rebalancing() }
+
+// Migrations reports how many tile migrations have committed so far.
+func (p *Platform) Migrations() int { return p.d.Migrations() }
+
 // Imbalance reports the platform's current load imbalance: the busiest
 // shard's routed check-ins over the per-shard mean (1.0 = perfectly even,
 // Shards() = everything on one shard; 1.0 by convention before any
-// check-in). Per-shard load accounts are in ShardStats (Workers and, for
-// the async path, QueueDepth).
+// check-in). The accounting window restarts at every tile migration, so
+// under live re-sharding the ratio reflects the current layout rather than
+// crediting a migrated-away hotspot to its old shard forever. Per-shard
+// load accounts are in ShardStats (Workers and, for the async path,
+// QueueDepth).
 //
 // Concurrent snapshot semantics: shards are locked one at a time, so under
 // live traffic the sample is per-shard consistent but not a global atomic
