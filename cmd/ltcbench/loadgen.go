@@ -202,6 +202,7 @@ func runLoadgen(url string, scale float64, seed uint64, algoName string, batch, 
 		if err != nil {
 			return err
 		}
+		defer ref.Close()
 		for _, w := range in.Workers {
 			if ref.Done() {
 				break

@@ -47,7 +47,10 @@ type jsonWorker struct {
 	X     float64 `json:"x"`
 	Y     float64 `json:"y"`
 	Acc   float64 `json:"accuracy"`
-	User  int     `json:"user,omitempty"` // check-in traces only
+	// User is a pointer so the zero user id survives -trace: with a plain
+	// int and omitempty, every check-in by user 0 would serialize without
+	// its user field, indistinguishable from untraced output.
+	User *int `json:"user,omitempty"` // check-in traces only
 }
 
 func main() {
@@ -131,7 +134,7 @@ func main() {
 	for i, w := range in.Workers {
 		jw := jsonWorker{Index: w.Index, X: w.Loc.X, Y: w.Loc.Y, Acc: w.Acc}
 		if userOf != nil {
-			jw.User = userOf[i]
+			jw.User = &userOf[i]
 		}
 		doc.Workers = append(doc.Workers, jw)
 	}

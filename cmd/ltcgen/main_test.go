@@ -73,6 +73,27 @@ func TestInstanceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceUserZeroSurvives: user ids are 0-based, so the trace annotation
+// for user 0 must not be dropped by omitempty (it was, when User was a
+// plain int).
+func TestTraceUserZeroSurvives(t *testing.T) {
+	zero := 0
+	raw, err := json.Marshal(jsonWorker{Index: 1, Acc: 0.9, User: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(string(raw), `"user":0`) {
+		t.Fatalf("user 0 annotation dropped: %s", raw)
+	}
+	var back jsonWorker
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.User == nil || *back.User != 0 {
+		t.Fatalf("user 0 did not round-trip: %+v", back)
+	}
+}
+
 func TestLoadInstanceMissingFile(t *testing.T) {
 	if _, err := LoadInstance(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("missing file must error")

@@ -50,7 +50,8 @@ type Engine struct {
 	pq        *model.PinnedQuery
 	// outBuf is the reusable Outcome slice returned by Arrive (valid until
 	// the next call), keeping the per-arrival hot path allocation-free.
-	outBuf []Outcome
+	// Capacity K from construction; never regrows.
+	outBuf []Outcome //ltc:arena
 }
 
 // Outcome is one assignment made by Arrive, with the bookkeeping a service
@@ -59,9 +60,15 @@ type Engine struct {
 // task over its quality threshold δ. The paper's solvers never assign a
 // completed task, so Completed marks exactly the assignment that finished
 // each task.
+//
+// Outcomes fill the engine's reusable per-arrival buffer; the
+// alignment-optimal field order (Credit first) keeps each entry at 16
+// bytes instead of the declaration-ordered 24 — enforced by fieldalign.
+//
+//ltc:hot
 type Outcome struct {
-	Task      model.TaskID
 	Credit    float64
+	Task      model.TaskID
 	Completed bool
 }
 
@@ -116,6 +123,8 @@ func (e *Engine) EndBatch() {
 // enforces consecutive indices starting at 1, while the dispatch layer
 // feeds each shard a sparse subsequence of global indices (the solvers
 // never read Worker.Index, and the arrangement only takes a max over it).
+//
+//ltc:noalloc
 func (e *Engine) Arrive(w model.Worker) []Outcome {
 	var out []model.TaskID
 	if e.batchAlgo != nil && e.pq.Pinned() {

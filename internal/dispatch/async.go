@@ -59,6 +59,7 @@ type shardQueue struct {
 	// notFull; sleeping marks the consumer parked (or parking) on notEmpty.
 	// Both are written under mu and read lock-free by the opposite side to
 	// decide whether a wake-up is needed at all.
+	//ltc:lock queue
 	mu       sync.Mutex
 	notFull  sync.Cond
 	notEmpty sync.Cond
@@ -110,9 +111,11 @@ func (q *shardQueue) full() bool {
 // context-cancellation callback (both re-check their exit condition under
 // the mutex, so taking it here means no wake-up can be lost).
 func (q *shardQueue) wakeAll() {
+	ldLock("queue", 0)
 	q.mu.Lock()
 	q.notFull.Broadcast()
 	q.notEmpty.Broadcast()
+	ldUnlock("queue", 0)
 	q.mu.Unlock()
 }
 
@@ -123,8 +126,10 @@ func (q *shardQueue) wakeAll() {
 // is always visible here.
 func (q *shardQueue) wakeConsumer() {
 	if q.sleeping.Load() {
+		ldLock("queue", 0)
 		q.mu.Lock()
 		q.notEmpty.Signal()
+		ldUnlock("queue", 0)
 		q.mu.Unlock()
 	}
 }
@@ -133,8 +138,10 @@ func (q *shardQueue) wakeConsumer() {
 // wakeConsumer for parked producers.
 func (q *shardQueue) wakeProducers() {
 	if q.waiters.Load() != 0 {
+		ldLock("queue", 0)
 		q.mu.Lock()
 		q.notFull.Broadcast()
+		ldUnlock("queue", 0)
 		q.mu.Unlock()
 	}
 }
@@ -152,6 +159,8 @@ func stopCtxWake(stop func() bool) {
 // ctx.Err() once ctx is done — both checked before every claim attempt, so
 // close always wins over a concurrent slot release. The caller has already
 // registered itself in q.active.
+//
+//ltc:noalloc
 func (q *shardQueue) push(ctx context.Context, d *Dispatcher, w model.Worker) error {
 	var stopWake func() bool
 	spins := 0
@@ -193,7 +202,7 @@ func (q *shardQueue) push(ctx context.Context, d *Dispatcher, w model.Worker) er
 				// mutex, so it cannot complete between the park's re-check
 				// and its Wait — no lost wake-up. Lock-free enqueues never
 				// pay for this.
-				stopWake = context.AfterFunc(ctx, q.wakeAll)
+				stopWake = context.AfterFunc(ctx, q.wakeAll) //ltclint:ignore noalloc park slow path only — the ring was full for a whole spin phase, so one method-value allocation is noise
 			}
 			q.parkProducer(ctx, d)
 		}
@@ -208,12 +217,14 @@ func (q *shardQueue) push(ctx context.Context, d *Dispatcher, w model.Worker) er
 // after the caller's lock-free check either sees the registration (and
 // broadcasts) or finished before it (and the re-check sees the free slots).
 func (q *shardQueue) parkProducer(ctx context.Context, d *Dispatcher) {
+	ldLock("queue", 0)
 	q.mu.Lock()
 	q.waiters.Add(1)
 	for q.full() && !d.closed.Load() && ctx.Err() == nil {
 		q.notFull.Wait()
 	}
 	q.waiters.Add(-1)
+	ldUnlock("queue", 0)
 	q.mu.Unlock()
 }
 
@@ -226,12 +237,14 @@ func (q *shardQueue) parkConsumer(d *Dispatcher) {
 	for i := 0; i < popSpins && !q.published(head) && !d.closed.Load(); i++ {
 		runtime.Gosched()
 	}
+	ldLock("queue", 0)
 	q.mu.Lock()
 	q.sleeping.Store(true)
 	for !q.published(head) && !d.closed.Load() {
 		q.notEmpty.Wait()
 	}
 	q.sleeping.Store(false)
+	ldUnlock("queue", 0)
 	q.mu.Unlock()
 }
 
@@ -240,6 +253,8 @@ func (q *shardQueue) parkConsumer(d *Dispatcher) {
 // the ring is empty and returns run unchanged — the drainer's exit signal —
 // only once the dispatcher is closed, no producer is mid-push, and every
 // claimed slot has been consumed.
+//
+//ltc:noalloc
 func (q *shardQueue) pop(d *Dispatcher, max int, run []model.Worker) []model.Worker {
 	for {
 		head := q.head.Load()
@@ -335,10 +350,12 @@ func (d *Dispatcher) CheckInAsyncCtx(ctx context.Context, w model.Worker) error 
 // the async path was never used; with concurrent enqueuers it waits for an
 // instant with no worker in flight.
 func (d *Dispatcher) Flush() {
+	ldLock("leaf", 0)
 	d.flushMu.Lock()
 	for d.pending.Load() != 0 {
 		d.flushCond.Wait()
 	}
+	ldUnlock("leaf", 0)
 	d.flushMu.Unlock()
 }
 
@@ -351,6 +368,7 @@ func (d *Dispatcher) Flush() {
 // multiple times and from multiple goroutines; every call waits for the
 // complete shutdown.
 func (d *Dispatcher) Close() error {
+	ldLock("async", 0)
 	d.asyncMu.Lock()
 	if !d.closed.Load() {
 		d.closed.Store(true)
@@ -360,6 +378,7 @@ func (d *Dispatcher) Close() error {
 			q.wakeAll()
 		}
 	}
+	ldUnlock("async", 0)
 	d.asyncMu.Unlock()
 	d.drainWG.Wait()
 	// Freeze the layout after the drainers are gone: halt waits out any
@@ -380,6 +399,7 @@ func (d *Dispatcher) ensureDrainers() {
 	if d.started.Load() {
 		return
 	}
+	ldLock("async", 0)
 	d.asyncMu.Lock()
 	if !d.started.Load() && !d.closed.Load() {
 		d.drainWG.Add(len(d.shards))
@@ -388,6 +408,7 @@ func (d *Dispatcher) ensureDrainers() {
 		}
 		d.started.Store(true)
 	}
+	ldUnlock("async", 0)
 	d.asyncMu.Unlock()
 }
 
@@ -418,8 +439,10 @@ func (d *Dispatcher) drainLoop(si int) {
 // close), waking Flush when nothing is left in flight.
 func (d *Dispatcher) retirePending(n int) {
 	if d.pending.Add(int64(-n)) == 0 {
+		ldLock("leaf", 0)
 		d.flushMu.Lock()
 		d.flushCond.Broadcast()
+		ldUnlock("leaf", 0)
 		d.flushMu.Unlock()
 	}
 }

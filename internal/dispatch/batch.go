@@ -97,6 +97,8 @@ func (d *Dispatcher) CheckInBatchInto(ws []model.Worker, dst []Receipt) ([]Recei
 // outputs (latency watermarks, the arrival total) fold in once per run, and
 // lifecycle events collected during the run are published after the shard
 // mutex is released.
+//
+//ltc:noalloc
 func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []Receipt) (consumed int) {
 	s := d.shards[si]
 	runMaxUsed, runMaxRel := 0, 0
@@ -109,6 +111,7 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []
 	// violation Publish's own per-event gate cannot cause.
 	var completions []events.Event
 	platformDone := false
+	ldLock("shard", si)
 	s.mu.Lock()
 	s.eng.BeginBatch()
 	for i := range run {
@@ -138,7 +141,7 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []
 			gid := s.sub.Global[oc.Task]
 			if oc.Completed {
 				completedDelta++
-				completions = append(completions, events.Event{Kind: events.TaskCompleted, Task: gid, Worker: w.Index})
+				completions = append(completions, events.Event{Kind: events.TaskCompleted, Task: gid, Worker: w.Index}) //ltclint:ignore noalloc the fresh slice is load-bearing — publication happens after the unlock, when the next run may already hold the shard mutex, so a reused shard-owned buffer would race; a task completes once ever, so the appends are negligible
 			}
 			if rel := w.Index - s.eng.TaskPostIndex(oc.Task); rel > runMaxRel {
 				runMaxRel = rel
@@ -165,13 +168,14 @@ func (d *Dispatcher) ingestRun(si int, run []model.Worker, truncate bool, out []
 		atomicMax(&d.maxUsed, int64(runMaxUsed))
 		atomicMax(&d.maxRel, int64(runMaxRel))
 	}
+	ldUnlock("shard", si)
 	s.mu.Unlock()
 	d.addArrived(int64(consumed))
 	for _, e := range completions {
-		d.bus.Publish(e)
+		d.publish(e)
 	}
 	if platformDone {
-		d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
+		d.publish(events.Event{Kind: events.PlatformDone, Task: -1})
 	}
 	return consumed
 }

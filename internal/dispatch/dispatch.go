@@ -115,6 +115,7 @@ const maxLoadSample = 4096
 // shard's engine can record arrangements — and therefore latency — directly
 // in global terms, and index-sensitive accuracy models stay correct.
 type shard struct {
+	//ltc:lock shard[i]
 	mu  sync.Mutex
 	eng *core.Engine
 	sub *model.SubInstance
@@ -123,7 +124,7 @@ type shard struct {
 	// merged-arrangement rebuild, a cold path, indexes them by global index
 	// through a transient map; replaying the appends in order preserves the
 	// old map's last-write-wins semantics for repeated indices.
-	workers []model.Worker
+	workers []model.Worker //ltc:arena
 	// arena carves the TaskGrant slices handed out in Receipts, so the
 	// per-check-in grant cost is one amortized block allocation instead of
 	// one make per call. Guarded by mu like the rest of the shard.
@@ -165,6 +166,7 @@ type Dispatcher struct {
 	// regMu guards records, the global TaskID → (shard, local) registry.
 	// Lock order: regMu before a shard mutex, never the reverse; CheckIn
 	// takes only the shard mutex.
+	//ltc:lock regMu
 	regMu   sync.RWMutex
 	records []taskRecord
 
@@ -182,13 +184,17 @@ type Dispatcher struct {
 
 	// Async ingestion state (see async.go). queues is allocated in New;
 	// drainer goroutines start lazily on the first CheckInAsync.
-	opts      Options
-	queues    []*shardQueue
-	asyncMu   sync.Mutex // serializes drainer start and the close transition
-	started   atomic.Bool
-	closed    atomic.Bool
-	drainWG   sync.WaitGroup
-	pending   atomic.Int64 // workers enqueued but not yet fully ingested
+	opts   Options
+	queues []*shardQueue
+	//ltc:lock async
+	asyncMu sync.Mutex // serializes drainer start and the close transition
+	started atomic.Bool
+	closed  atomic.Bool
+	drainWG sync.WaitGroup
+	pending atomic.Int64 // workers enqueued but not yet fully ingested
+	// flushMu only ever guards the flushCond wait/signal handshake — nothing
+	// nests under it, so it is a leaf like the event bus lock.
+	//ltc:lock leaf
 	flushMu   sync.Mutex
 	flushCond *sync.Cond
 }
@@ -294,9 +300,11 @@ func (d *Dispatcher) Balanced() bool { return d.part.Balanced }
 // w.Index is the worker's global arrival index and must be ≥ 1; concurrent
 // callers need not present indices in order — the solvers assign from
 // location and accuracy only, and latency is tracked as a max over indices.
+//
+//ltc:noalloc
 func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	if w.Index < 1 {
-		return Receipt{Shard: -1}, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index)
+		return Receipt{Shard: -1}, fmt.Errorf("%w: got %d", ErrBadWorkerIndex, w.Index) //ltclint:ignore noalloc rejected check-in is off the hot path; the wrapped error is worth one allocation
 	}
 	// Tick the arrival clock before anything can bounce the call: post
 	// indices (and therefore relative latency) anchor to the largest worker
@@ -315,9 +323,11 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 	si := d.locate(w.Loc)
 	s := d.shards[si]
 
+	ldLock("shard", si)
 	s.mu.Lock()
 	s.routed++
 	if s.eng.Done() {
+		ldUnlock("shard", si)
 		s.mu.Unlock()
 		d.addArrived(1)
 		return Receipt{Worker: w.Index, Shard: si, Done: d.Done()}, nil
@@ -339,6 +349,7 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 		}
 		s.workers = append(s.workers, w)
 	}
+	ldUnlock("shard", si)
 	s.mu.Unlock()
 
 	d.addArrived(1)
@@ -351,11 +362,11 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 		done = d.remaining.Add(int64(-completedDelta)) == 0
 		for _, g := range grants {
 			if g.Completed {
-				d.bus.Publish(events.Event{Kind: events.TaskCompleted, Task: g.Task, Worker: w.Index})
+				d.publish(events.Event{Kind: events.TaskCompleted, Task: g.Task, Worker: w.Index})
 			}
 		}
 		if done {
-			d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
+			d.publish(events.Event{Kind: events.PlatformDone, Task: -1})
 		}
 	} else {
 		done = d.Done()
@@ -369,6 +380,15 @@ func (d *Dispatcher) CheckIn(w model.Worker) (Receipt, error) {
 // so the bus never extends the dispatch lock order; see CONCURRENCY.md for
 // the ordering and drop contract.
 func (d *Dispatcher) Subscribe(buf int) *events.Subscription { return d.bus.Subscribe(buf) }
+
+// publish forwards to the event bus. The bus lock is a leaf of the dispatch
+// lock order, so under the lockdebug build tag the forward first asserts the
+// publishing goroutine holds no dispatch lock — the runtime twin of the
+// lockorder analyzer's leaf rule.
+func (d *Dispatcher) publish(e events.Event) {
+	ldAssertNoneHeld("bus.Publish")
+	d.bus.Publish(e)
+}
 
 // atomicMax raises v to at least x.
 func atomicMax(v *atomic.Int64, x int64) {
@@ -389,12 +409,14 @@ func atomicMax(v *atomic.Int64, x int64) {
 // relative latency accounting. Safe to call concurrently with CheckIn;
 // posts serialize among themselves and with RetireTask.
 func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
+	ldLock("regMu", 0)
 	d.regMu.Lock()
 	gid := model.TaskID(len(d.records))
 	si := d.part.Locate(t.Loc)
 	s := d.shards[si]
 	post := int(d.maxSeen.Load())
 
+	ldLock("shard", si)
 	s.mu.Lock()
 	local := s.sub.AppendTask(model.Task{ID: gid, Loc: t.Loc})
 	err := s.eng.PostTask(local, post)
@@ -411,19 +433,22 @@ func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
 		// the next post fails with the same honest error.
 		s.sub.TruncateLast()
 	}
+	ldUnlock("shard", si)
 	s.mu.Unlock()
 	if err != nil {
+		ldUnlock("regMu", 0)
 		d.regMu.Unlock()
 		return 0, err
 	}
 
 	d.records = append(d.records, taskRecord{shard: int32(si), local: local.ID})
+	ldUnlock("regMu", 0)
 	d.regMu.Unlock()
 	// Published after regMu is released (the bus lock never nests inside
 	// dispatch locks). A worker racing this post can therefore complete the
 	// task and publish its TaskCompleted before TaskPosted lands on the bus
 	// — see the ordering contract in CONCURRENCY.md.
-	d.bus.Publish(events.Event{Kind: events.TaskPosted, Task: gid, PostIndex: post})
+	d.publish(events.Event{Kind: events.TaskPosted, Task: gid, PostIndex: post})
 	return gid, nil
 }
 
@@ -433,18 +458,23 @@ func (d *Dispatcher) PostTask(t model.Task) (model.TaskID, error) {
 // already retired) is a harmless no-op. Safe to call concurrently with
 // CheckIn.
 func (d *Dispatcher) RetireTask(id model.TaskID) error {
+	ldLock("regMu", 0)
 	d.regMu.RLock()
 	if id < 0 || int(id) >= len(d.records) {
+		ldUnlock("regMu", 0)
 		d.regMu.RUnlock()
 		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
 	}
 	rec := d.records[id]
+	ldUnlock("regMu", 0)
 	d.regMu.RUnlock()
 
 	s := d.shards[rec.shard]
+	ldLock("shard", int(rec.shard))
 	s.mu.Lock()
 	already := s.eng.TaskRetired(rec.local)
 	wasOpen, err := s.eng.RetireTask(rec.local)
+	ldUnlock("shard", int(rec.shard))
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -454,10 +484,10 @@ func (d *Dispatcher) RetireTask(id model.TaskID) error {
 		platformDone = d.remaining.Add(-1) == 0
 	}
 	if !already {
-		d.bus.Publish(events.Event{Kind: events.TaskRetired, Task: id})
+		d.publish(events.Event{Kind: events.TaskRetired, Task: id})
 	}
 	if platformDone {
-		d.bus.Publish(events.Event{Kind: events.PlatformDone, Task: -1})
+		d.publish(events.Event{Kind: events.PlatformDone, Task: -1})
 	}
 	return nil
 }

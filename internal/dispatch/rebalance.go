@@ -269,32 +269,57 @@ func (d *Dispatcher) Migrations() int { return int(d.migrations.Load()) }
 // that raced the swap (assignment quality only; no worker or task is lost).
 // Migrating a tile onto its current owner is a no-op.
 func (d *Dispatcher) MigrateTile(tile, to int) error {
+	// The registry lock is released before the TileMigrated publish below:
+	// the bus lock is a leaf that must never be reachable under regMu or a
+	// shard mutex (CONCURRENCY.md "Event subscriptions"; enforced by the
+	// lockorder analyzer, which caught the previous defer-based version
+	// holding regMu through the publish).
+	ldLock("regMu", 0)
 	d.regMu.Lock()
-	defer d.regMu.Unlock()
+	from, migrated, err := d.migrateTileLocked(tile, to)
+	ldUnlock("regMu", 0)
+	d.regMu.Unlock()
+	if err != nil || !migrated {
+		return err
+	}
+	d.migrations.Add(1)
+	d.publish(events.Event{
+		Kind: events.TileMigrated, Task: -1,
+		Tile: tile, FromShard: from, ToShard: to,
+	})
+	return nil
+}
+
+// migrateTileLocked runs the migration protocol with regMu held. It reports
+// the source shard and whether a migration actually happened (from == to is
+// a no-op that must neither count nor publish).
+func (d *Dispatcher) migrateTileLocked(tile, to int) (from int, migrated bool, err error) {
 	if !d.part.Rebalanceable() {
-		return model.ErrNotRebalanceable
+		return 0, false, model.ErrNotRebalanceable
 	}
 	if to < 0 || to >= len(d.shards) {
-		return fmt.Errorf("dispatch: migration target shard %d out of range [0,%d)", to, len(d.shards))
+		return 0, false, fmt.Errorf("dispatch: migration target shard %d out of range [0,%d)", to, len(d.shards))
 	}
 	if tile < 0 || tile >= d.part.NumTiles() {
-		return fmt.Errorf("dispatch: migration tile %d out of range [0,%d)", tile, d.part.NumTiles())
+		return 0, false, fmt.Errorf("dispatch: migration tile %d out of range [0,%d)", tile, d.part.NumTiles())
 	}
-	from := d.part.TileShard(tile) // tile ownership checked by part.MigrateTile below
+	from = d.part.TileShard(tile) // tile ownership checked by part.MigrateTile below
 	if from == to {
-		return nil
+		return from, false, nil
 	}
 	sf, st := d.shards[from], d.shards[to]
 	if !sf.eng.CanMigrate() || !st.eng.CanMigrate() {
-		return fmt.Errorf("%w: solver %s", core.ErrNoMigration, sf.eng.Name())
+		return from, false, fmt.Errorf("%w: solver %s", core.ErrNoMigration, sf.eng.Name())
 	}
 
 	first, second := sf, st
 	if to < from {
 		first, second = st, sf
 	}
+	ldLock("shard", min(from, to))
 	first.mu.Lock()
-	second.mu.Lock()
+	ldLock("shard", max(from, to))
+	second.mu.Lock() //ltc:ascending
 
 	var migrateErr error
 	for local := 0; local < len(sf.sub.Global); local++ {
@@ -328,26 +353,25 @@ func (d *Dispatcher) MigrateTile(tile, to int) error {
 		sf.migratedOut++
 		st.migratedIn++
 	}
+	ldUnlock("shard", max(from, to))
 	second.mu.Unlock()
+	ldUnlock("shard", min(from, to))
 	first.mu.Unlock()
 	if migrateErr != nil {
-		return migrateErr
+		return from, false, migrateErr
 	}
 
-	// Satellite fix: the imbalance window restarts at every migration, so
-	// the metric reflects current ownership instead of crowning the shard
-	// that already handed its hot tiles away "busiest" forever. All shards
+	// The imbalance window restarts at every migration, so the metric
+	// reflects current ownership instead of crowning the shard that
+	// already handed its hot tiles away "busiest" forever. All shards
 	// rebase (one at a time — windows stay comparable in length because
 	// they all restart at this same migration).
-	for _, s := range d.shards {
+	for si, s := range d.shards {
+		ldLock("shard", si)
 		s.mu.Lock()
 		s.routedBase = s.routed
+		ldUnlock("shard", si)
 		s.mu.Unlock()
 	}
-	d.migrations.Add(1)
-	d.bus.Publish(events.Event{
-		Kind: events.TileMigrated, Task: -1,
-		Tile: tile, FromShard: from, ToShard: to,
-	})
-	return nil
+	return from, true, nil
 }

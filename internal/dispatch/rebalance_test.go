@@ -581,3 +581,32 @@ func TestMigrateTileAdoptFailureRollsBack(t *testing.T) {
 		t.Fatalf("failed migration counted: %d", got)
 	}
 }
+
+// TestRebalanceIdlePassIsNoOp: a rebalance pass over an interval with zero
+// arrivals (and a fully decayed forecast) moves nothing — the pass bails
+// before touching the per-shard load profile.
+func TestRebalanceIdlePassIsNoOp(t *testing.T) {
+	in := hotspotInstance(t, 0.02)
+	d := rebalanced(t, in, 4, &RebalanceOptions{Interval: 1 << 30, Threshold: 1.2, MaxMoves: 1, Alpha: 1})
+	defer d.Close()
+	before := d.Migrations()
+	d.rb.rebalance()
+	if got := d.Migrations(); got != before {
+		t.Fatalf("idle rebalance pass migrated tiles: %d -> %d", before, got)
+	}
+}
+
+// TestRebalanceBelowThresholdIsNoOp: with traffic recorded but the heaviest
+// shard under Threshold×mean, the pass computes the load profile and bails
+// without migrating.
+func TestRebalanceBelowThresholdIsNoOp(t *testing.T) {
+	in := hotspotInstance(t, 0.02)
+	d := rebalanced(t, in, 4, &RebalanceOptions{Interval: 1 << 30, Threshold: 1e9, MaxMoves: 1, Alpha: 1})
+	defer d.Close()
+	d.rb.noteLocate(d.part.OwnerTiles()[0])
+	before := d.Migrations()
+	d.rb.rebalance()
+	if got := d.Migrations(); got != before {
+		t.Fatalf("below-threshold rebalance pass migrated tiles: %d -> %d", before, got)
+	}
+}

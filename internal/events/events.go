@@ -88,9 +88,12 @@ type Bus struct {
 	// active mirrors len(subs) so Publish can bail without locking while
 	// nobody listens — the common case on the check-in hot path.
 	active atomic.Int64
-	mu     sync.Mutex
-	seq    uint64
-	subs   map[*Subscription]struct{}
+	// The bus lock is a leaf of the dispatch lock order: Publish must never
+	// be called with a dispatch mutex held (see CONCURRENCY.md).
+	//ltc:lock leaf
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*Subscription]struct{}
 }
 
 // NewBus returns an empty bus.

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ltc/internal/lint/analysis"
+)
+
+// AtomicField enforces all-or-nothing atomic access: once any site in the
+// package reads or writes a struct field through sync/atomic (e.g.
+// atomic.LoadInt32(&s.f) or atomic.StoreInt32(&s.f[i], v)), every access to
+// that field (or its elements, for slice fields) must be atomic too. Mixed
+// plain/atomic access is exactly the pattern the Go memory model gives no
+// guarantees for.
+//
+// For slice fields accessed element-wise (mode "elem"), non-element
+// operations — len, cap, whole-field replacement, make — remain legal; only
+// plain element reads/writes (including `range` with a value variable) are
+// flagged. Typed atomics (atomic.Int64 etc.) are enforced by the type system
+// and by govet's copylocks, so this analyzer only tracks the pointer-based
+// API.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "require consistently atomic access to fields touched by sync/atomic",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1: find fields accessed through sync/atomic, and remember the
+	// exact expressions inside atomic calls so phase 2 can exempt them.
+	directAtomic := map[types.Object]bool{} // atomic.X(&s.f)
+	elemAtomic := map[types.Object]bool{}   // atomic.X(&s.f[i])
+	exempt := map[ast.Expr]bool{}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicCall(info, call) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			switch inner := ast.Unparen(addr.X).(type) {
+			case *ast.SelectorExpr:
+				if obj := fieldObject(info, inner); obj != nil {
+					directAtomic[obj] = true
+					exempt[inner] = true
+				}
+			case *ast.IndexExpr:
+				if sel, ok := ast.Unparen(inner.X).(*ast.SelectorExpr); ok {
+					if obj := fieldObject(info, sel); obj != nil {
+						elemAtomic[obj] = true
+						exempt[inner] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(directAtomic) == 0 && len(elemAtomic) == 0 {
+		return nil
+	}
+
+	// Phase 2: flag plain accesses to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if exempt[n] {
+					return false
+				}
+				obj := fieldObject(info, n)
+				if obj == nil || !directAtomic[obj] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; plain access here races (use atomic access everywhere)", obj.Name())
+				return false
+			case *ast.IndexExpr:
+				if exempt[n] {
+					return false
+				}
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := fieldObject(info, sel)
+				if obj == nil || !elemAtomic[obj] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"elements of %s are accessed with sync/atomic elsewhere in this package; plain element access here races (use atomic access everywhere)", obj.Name())
+				return false
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := fieldObject(info, sel)
+				if obj == nil || !elemAtomic[obj] {
+					return true
+				}
+				pass.Reportf(n.X.Pos(),
+					"range with a value variable reads elements of %s non-atomically; elements are accessed with sync/atomic elsewhere in this package", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function
+// that accesses memory through its pointer argument.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldObject resolves a selector to a struct field object, or nil.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ltc/internal/lint/analysis"
+)
+
+// CowSnapshot protects fields annotated //ltc:cow — slices published inside
+// copy-on-write snapshots (CandidateIndex cells, snapshot task/live arrays).
+// Readers hold these slices without locks, so published backing arrays must
+// never be written again. Allowed mutation shapes:
+//
+//   - whole-field replacement `x.f = <expr>` (the publish step), and
+//   - full-slice-expression copy-append `append(x.f[:n:n], ...)`, whose
+//     capped capacity forces a fresh backing array.
+//
+// Direct element stores, bare `append(x.f, ...)`, two-index slice appends,
+// and `copy` into the field are diagnostics. Local aliases of a cow field
+// are not tracked; keep mutations syntactically rooted at the field.
+var CowSnapshot = &analysis.Analyzer{
+	Name: "cowsnapshot",
+	Doc:  "restrict //ltc:cow snapshot fields to copy-on-write mutation idioms",
+	Run:  runCowSnapshot,
+}
+
+func runCowSnapshot(pass *analysis.Pass) error {
+	anns := annotationsFor(pass)
+	if len(anns.Cow) == 0 {
+		return nil
+	}
+	cowSel := func(e ast.Expr) (types.Object, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, false
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || !anns.Cow[obj] {
+			return nil, false
+		}
+		return obj, true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if obj, ok := cowSel(idx.X); ok {
+							pass.Reportf(lhs.Pos(),
+								"direct element store into copy-on-write field %s; published snapshots must not be written (rebuild locally, then replace the field)", obj.Name())
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+					if obj, ok := cowSel(idx.X); ok {
+						pass.Reportf(n.Pos(),
+							"direct element mutation of copy-on-write field %s", obj.Name())
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				switch id.Name {
+				case "append":
+					if len(n.Args) == 0 {
+						return true
+					}
+					arg0 := ast.Unparen(n.Args[0])
+					if obj, ok := cowSel(arg0); ok {
+						pass.Reportf(n.Pos(),
+							"bare append into copy-on-write field %s may write a published backing array; use a full-slice-expression copy-append (append(x.%s[:n:n], ...))", obj.Name(), obj.Name())
+						return true
+					}
+					if se, ok := arg0.(*ast.SliceExpr); ok {
+						if obj, ok := cowSel(se.X); ok && !se.Slice3 {
+							pass.Reportf(n.Pos(),
+								"append into two-index slice of copy-on-write field %s may write a published backing array; use a full slice expression with capped capacity", obj.Name())
+						}
+					}
+				case "copy":
+					if len(n.Args) < 1 {
+						return true
+					}
+					dst := ast.Unparen(n.Args[0])
+					if se, ok := dst.(*ast.SliceExpr); ok {
+						dst = ast.Unparen(se.X)
+					}
+					if obj, ok := cowSel(dst); ok {
+						pass.Reportf(n.Pos(),
+							"copy into copy-on-write field %s overwrites a published backing array", obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

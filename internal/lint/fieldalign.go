@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ltc/internal/lint/analysis"
+)
+
+// FieldAlign reports //ltc:hot structs whose declared field order wastes
+// padding. Hot structs sit on the check-in fast path (grants, outcomes,
+// per-shard state), where every byte multiplies across millions of events;
+// the analyzer compares the declared size against the best size achievable
+// by reordering fields (largest alignment, then largest size first) and
+// suggests that order. It checks only annotated structs, so incidental
+// layout choices elsewhere stay free.
+var FieldAlign = &analysis.Analyzer{
+	Name: "fieldalign",
+	Doc:  "flag //ltc:hot structs with padding-wasting field order",
+	Run:  runFieldAlign,
+}
+
+func runFieldAlign(pass *analysis.Pass) error {
+	anns := annotationsFor(pass)
+	if len(anns.Hot) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[ts.Name]
+			if obj == nil || !anns.Hot[obj] {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				pass.Reportf(ts.Pos(), "//ltc:hot annotates non-struct type %s", ts.Name.Name)
+				return true
+			}
+			checkHotStruct(pass, ts, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *types.Struct) {
+	sizes := pass.Sizes
+	if sizes == nil || st.NumFields() < 2 {
+		return
+	}
+	cur := sizes.Sizeof(st)
+
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	best := append([]*types.Var(nil), fields...)
+	sort.SliceStable(best, func(i, j int) bool {
+		ai, aj := sizes.Alignof(best[i].Type()), sizes.Alignof(best[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(best[i].Type()) > sizes.Sizeof(best[j].Type())
+	})
+	opt := sizes.Sizeof(types.NewStruct(best, nil))
+	if opt >= cur {
+		return
+	}
+	var order []string
+	for _, f := range best {
+		order = append(order, f.Name())
+	}
+	pass.Reportf(ts.Pos(),
+		"hot struct %s is %d bytes; reordering fields to {%s} shrinks it to %d bytes",
+		ts.Name.Name, cur, strings.Join(order, ", "), opt)
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the atomicfield analyzer: a field touched with
+// sync/atomic anywhere in the package must be touched with sync/atomic
+// everywhere.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	cold  int64
+	table []int32
+}
+
+// bump establishes hits as an atomic field; cold stays plain.
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	c.cold++
+}
+
+func badPlain(c *counters) int64 {
+	return c.hits // want "plain access here races"
+}
+
+func okCold(c *counters) int64 {
+	return c.cold
+}
+
+// readElem establishes table as an element-atomic field (the live-migration
+// pattern: tiles are re-pointed with StoreInt32 mid-stream).
+func readElem(c *counters, i int) int32 {
+	return atomic.LoadInt32(&c.table[i])
+}
+
+func writeElem(c *counters, i int, v int32) {
+	atomic.StoreInt32(&c.table[i], v)
+}
+
+func badElem(c *counters, i int) int32 {
+	return c.table[i] // want "plain element access here races"
+}
+
+func badRange(c *counters) int32 {
+	var s int32
+	for _, v := range c.table { // want "range with a value variable"
+		s += v
+	}
+	return s
+}
+
+// okIndexFree: range without a value variable only reads indices.
+func okIndexFree(c *counters) int {
+	n := 0
+	for range c.table {
+		n++
+	}
+	return n
+}
+
+func okLen(c *counters) int {
+	return len(c.table)
+}
+
+// publish: building a local table and replacing the whole field is the
+// blessed construction pattern.
+func publish(c *counters, n int) {
+	table := make([]int32, n)
+	for i := range table {
+		table[i] = int32(i)
+	}
+	c.table = table
+}
+
+func waived(c *counters) int64 {
+	return c.hits //ltclint:ignore atomicfield fixture demonstrates a single-threaded-init waiver
+}

@@ -1,0 +1,63 @@
+// Package fixture exercises the cowsnapshot analyzer: fields annotated
+// //ltc:cow are published to lock-free readers, so their backing arrays
+// must never be written in place.
+package fixture
+
+type snap struct {
+	tasks []int  //ltc:cow
+	live  []bool //ltc:cow
+	other []int
+}
+
+// grow is the blessed pattern: a full-slice-expression copy-append builds a
+// fresh backing array, then the whole field is replaced.
+func grow(s *snap, t int) *snap {
+	n := len(s.tasks)
+	tasks := append(s.tasks[:n:n], t)
+	return &snap{tasks: tasks, live: s.live}
+}
+
+// replace swaps the whole field — always safe.
+func replace(s *snap, tasks []int) {
+	s.tasks = tasks
+}
+
+func badStore(s *snap, i, v int) {
+	s.tasks[i] = v // want "direct element store"
+}
+
+func badFlag(s *snap, i int) {
+	s.live[i] = false // want "direct element store"
+}
+
+func badInc(s *snap, i int) {
+	s.tasks[i]++ // want "direct element mutation"
+}
+
+func badAppend(s *snap, t int) {
+	s.tasks = append(s.tasks, t) // want "bare append into copy-on-write"
+}
+
+func badTwoIndex(s *snap, n, t int) {
+	s.tasks = append(s.tasks[:n], t) // want "two-index slice"
+}
+
+func badCopy(s *snap, src []int) {
+	copy(s.tasks, src) // want "copy into copy-on-write"
+}
+
+func badCopySlice(s *snap, src []int) {
+	copy(s.tasks[1:], src) // want "copy into copy-on-write"
+}
+
+// okOther: unannotated fields mutate freely.
+func okOther(s *snap, v int) {
+	s.other = append(s.other, v)
+	s.other[0] = v
+}
+
+// waived demonstrates the dense-frontier waiver shape used by the real
+// candidate index.
+func waived(s *snap, t int) {
+	s.tasks = append(s.tasks, t) //ltclint:ignore cowsnapshot fixture demonstrates a dense-frontier append waiver
+}

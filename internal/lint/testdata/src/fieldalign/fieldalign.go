@@ -1,0 +1,33 @@
+// Package fixture exercises the fieldalign analyzer: structs annotated
+// //ltc:hot must use an alignment-optimal field order.
+package fixture
+
+// grant mirrors the dispatch layer's TaskGrant before its reorder: 24 bytes
+// declared, 16 optimal.
+//
+//ltc:hot
+type grant struct { // want "24 bytes; reordering fields"
+	id   int32
+	cost float64
+	done bool
+}
+
+// packed is grant after the reorder — optimal, no finding.
+//
+//ltc:hot
+type packed struct {
+	cost float64
+	id   int32
+	done bool
+}
+
+// coldGrant is unannotated: fieldalign leaves declaration order alone so
+// readability can win on cold structs.
+type coldGrant struct {
+	id   int32
+	cost float64
+	done bool
+}
+
+//ltc:hot
+type notAStruct int32 // want "annotates non-struct"

@@ -1,0 +1,87 @@
+// Package fixture exercises the noalloc analyzer: hot-path functions are
+// annotated //ltc:noalloc and every heap-escaping construct is flagged.
+package fixture
+
+import "fmt"
+
+type thing struct {
+	buf   []int //ltc:arena
+	other []int
+	m     map[string]int
+}
+
+// hot is clean: arena-field and parameter-rooted appends are the two
+// blessed destinations.
+//
+//ltc:noalloc
+func (t *thing) hot(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	t.buf = append(t.buf, sum)
+	xs = append(xs, sum)
+	_ = xs
+	return sum
+}
+
+//ltc:noalloc
+func (t *thing) builtins(n int) {
+	s := make([]int, n) // want "make allocates"
+	_ = s
+	p := new(int) // want "new allocates"
+	_ = p
+	t.other = append(t.other, n) // want "append into non-arena"
+}
+
+//ltc:noalloc
+func (t *thing) calls(n int) {
+	_ = fmt.Sprintf("%d", n) // want "call to fmt.Sprintf allocates" "passing .* as interface"
+	t.m["k"] = n             // want "map write may allocate"
+}
+
+//ltc:noalloc
+func (t *thing) escapes() {
+	f := func() {} // want "function literal allocates"
+	f()
+	go t.hot(nil) // want "go statement allocates"
+	g := t.calls  // want "method value .* allocates"
+	_ = g
+	xs := []int{1, 2} // want "slice literal allocates"
+	_ = xs
+	p := &thing{} // want "composite literal escapes"
+	_ = p
+}
+
+//ltc:noalloc
+func (t *thing) boxes(n int) any {
+	var i any = n // want "assigning int to interface"
+	_ = i
+	return n // want "returning int as interface"
+}
+
+// boxesPointer is clean: pointer-shaped values fit an interface word
+// without boxing.
+//
+//ltc:noalloc
+func (t *thing) boxesPointer() any {
+	return t
+}
+
+//ltc:noalloc
+func (t *thing) conv(s string) []byte {
+	return []byte(s) // want "conversion between string and byte/rune slice"
+}
+
+// waived demonstrates a reasoned waiver suppressing the diagnostic: the
+// fixture line produces a finding but the waiver eats it.
+//
+//ltc:noalloc
+func (t *thing) waived(n int) {
+	_ = make([]int, n) //ltclint:ignore noalloc fixture demonstrates an amortized-refill waiver
+}
+
+// cold is unannotated: allocations are nobody's business here.
+func (t *thing) cold(n int) []int {
+	return make([]int, n)
+}

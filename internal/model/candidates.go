@@ -34,6 +34,7 @@ type CandidateIndex struct {
 	in     *Instance
 	radius float64 // +Inf when the model gives no bound
 
+	//ltc:lock index
 	mu   sync.Mutex // serializes Insert/Remove
 	snap atomic.Pointer[indexSnapshot]
 }
@@ -44,8 +45,8 @@ type CandidateIndex struct {
 // cells between consecutive snapshots; only the task's own cell (and, for
 // Remove, the liveness mask) is copied.
 type indexSnapshot struct {
-	tasks []Task
-	live  []bool
+	tasks []Task //ltc:cow
+	live  []bool //ltc:cow
 	nLive int
 	grid  *cellGrid // nil when the radius is unbounded
 }
@@ -58,7 +59,7 @@ type cellGrid struct {
 	origin     geo.Point
 	cellSize   float64
 	cols, rows int
-	cells      []cell
+	cells      []cell //ltc:cow
 }
 
 // cell is one grid bucket in struct-of-arrays layout: ids[i] is the task at
@@ -67,9 +68,9 @@ type cellGrid struct {
 // Task structs through the dense task table — the hot loop of every
 // candidate query touches only these slices.
 type cell struct {
-	ids []int32
-	xs  []float64
-	ys  []float64
+	ids []int32   //ltc:cow
+	xs  []float64 //ltc:cow
+	ys  []float64 //ltc:cow
 }
 
 // add returns the cell extended with one task, sharing the backing arrays
@@ -85,18 +86,22 @@ func (c cell) add(id int32, p geo.Point) cell {
 	}
 }
 
-// without returns a fresh cell with task id filtered out.
+// without returns a fresh cell with task id filtered out. The slices are
+// built as locals and only become cell fields on return, so every mutation
+// of the //ltc:cow fields stays syntactically copy-on-write.
 func (c cell) without(id int32) cell {
 	n := len(c.ids) - 1
-	nc := cell{ids: make([]int32, 0, n), xs: make([]float64, 0, n), ys: make([]float64, 0, n)}
+	ids := make([]int32, 0, n)
+	xs := make([]float64, 0, n)
+	ys := make([]float64, 0, n)
 	for i, x := range c.ids {
 		if x != id {
-			nc.ids = append(nc.ids, x)
-			nc.xs = append(nc.xs, c.xs[i])
-			nc.ys = append(nc.ys, c.ys[i])
+			ids = append(ids, x)
+			xs = append(xs, c.xs[i])
+			ys = append(ys, c.ys[i])
 		}
 	}
-	return nc
+	return cell{ids: ids, xs: xs, ys: ys}
 }
 
 // idBufPool recycles the grid-query scratch buffers of Candidates. A pool
@@ -117,13 +122,17 @@ func NewCandidateIndex(in *Instance) *CandidateIndex {
 	if rb, ok := in.Model.(RadiusBounder); ok {
 		ci.radius = rb.EligibilityRadius(in.MinAcc)
 	}
+	// Fill the liveness mask before it becomes a snapshot field: snapshot
+	// slices are copy-on-write once published, and building them as locals
+	// keeps even the pre-publish stores out of the cow fields.
+	live := make([]bool, len(in.Tasks))
+	for i := range live {
+		live[i] = true
+	}
 	snap := &indexSnapshot{
 		tasks: append([]Task(nil), in.Tasks...),
-		live:  make([]bool, len(in.Tasks)),
+		live:  live,
 		nLive: len(in.Tasks),
-	}
-	for i := range snap.live {
-		snap.live[i] = true
 	}
 	if !math.IsInf(ci.radius, 1) {
 		cell := ci.radius
@@ -150,11 +159,14 @@ func newCellGrid(tasks []Task, cellSize float64) *cellGrid {
 		g.cols = int(math.Floor(rect.Width()/cellSize)) + 1
 		g.rows = int(math.Floor(rect.Height()/cellSize)) + 1
 	}
-	g.cells = make([]cell, g.cols*g.rows)
+	// Bucket into a local table first: cells is a //ltc:cow field, written
+	// only by whole-field publication.
+	cells := make([]cell, g.cols*g.rows)
 	for i, t := range tasks {
 		c := g.cellIndex(t.Loc)
-		g.cells[c] = g.cells[c].add(int32(i), t.Loc)
+		cells[c] = cells[c].add(int32(i), t.Loc)
 	}
+	g.cells = cells
 	return g
 }
 
@@ -178,16 +190,16 @@ func (g *cellGrid) cellIndex(p geo.Point) int {
 // the previous snapshot keeps its view) but shares every cell's slices
 // except the one at index c, which is replaced by nc.
 func (g *cellGrid) withCell(c int, nc cell) *cellGrid {
-	ng := &cellGrid{
+	cells := make([]cell, len(g.cells))
+	copy(cells, g.cells)
+	cells[c] = nc
+	return &cellGrid{
 		origin:   g.origin,
 		cellSize: g.cellSize,
 		cols:     g.cols,
 		rows:     g.rows,
-		cells:    make([]cell, len(g.cells)),
+		cells:    cells,
 	}
-	copy(ng.cells, g.cells)
-	ng.cells[c] = nc
-	return ng
 }
 
 // Radius returns the eligibility radius in effect (+Inf when unbounded).
@@ -220,9 +232,12 @@ func (ci *CandidateIndex) Insert(t Task) error {
 	ns := &indexSnapshot{
 		// Appending at the dense frontier never rewrites an index a published
 		// snapshot can reach, so sharing the backing array with the previous
-		// snapshot is safe (writes land strictly beyond its length).
-		tasks: append(s.tasks, t),
-		live:  append(s.live, true),
+		// snapshot is safe (writes land strictly beyond its length). The
+		// bare appends are waived rather than rewritten: a capped
+		// copy-append here would copy the whole table on every insert,
+		// trading O(1) amortized growth for O(n) per post.
+		tasks: append(s.tasks, t),   //ltclint:ignore cowsnapshot dense-frontier append writes strictly beyond every published snapshot's length
+		live:  append(s.live, true), //ltclint:ignore cowsnapshot dense-frontier append writes strictly beyond every published snapshot's length
 		nLive: s.nLive + 1,
 		grid:  s.grid,
 	}

@@ -200,15 +200,19 @@ func (p *Partition) buildStriped(in *Instance, n int, rect geo.Rect, pts []geo.P
 	// Bucket tasks by tile; iterate in global order so each shard's local
 	// task order follows ascending global TaskID.
 	tileTasks := p.bucketTasks(in)
-	p.tileShard = make([]int32, p.cols*p.rows)
+	// Steady-state readers use atomic loads on tileShard (tiles migrate
+	// live); build the table in a local and publish it once so every
+	// element store after publication is atomic.
+	tileShard := make([]int32, p.cols*p.rows)
 	p.taskShard = make([]int32, len(in.Tasks))
 	for c, ids := range tileTasks {
 		if len(ids) == 0 {
-			p.tileShard[c] = -1
+			tileShard[c] = -1
 			continue
 		}
-		p.tileShard[c] = p.addShard(in, ids)
+		tileShard[c] = p.addShard(in, ids)
 	}
+	p.tileShard = tileShard
 
 	// Fallback router: a check-in landing on a task-free tile (or outside
 	// the rect) goes to the shard of the nearest task. Cell size of one tile
@@ -356,7 +360,9 @@ func (p *Partition) buildBalanced(in *Instance, n int, sample []geo.Point, rect 
 		s := shardOf[binOf[c]]
 		shardIDs[s] = append(shardIDs[s], ids...)
 	}
-	p.tileShard = make([]int32, p.cols*p.rows)
+	// As in buildStriped: fill a local table, publish once, so post-build
+	// element stores are exclusively atomic.
+	tileShard := make([]int32, p.cols*p.rows)
 	p.taskShard = make([]int32, len(in.Tasks))
 	for s, ids := range shardIDs {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -364,9 +370,10 @@ func (p *Partition) buildBalanced(in *Instance, n int, sample []geo.Point, rect 
 			panic("model: balanced shard numbering out of order")
 		}
 	}
-	for c := range p.tileShard {
-		p.tileShard[c] = shardOf[binOf[int(freeOwner[c])]]
+	for c := range tileShard {
+		tileShard[c] = shardOf[binOf[int(freeOwner[c])]]
 	}
+	p.tileShard = tileShard
 
 	// Keep the ownership structure: migration moves a task tile together
 	// with the free tiles it serves.
