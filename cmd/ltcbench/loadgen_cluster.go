@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltc"
+	"ltc/internal/cluster"
+	"ltc/internal/httpapi"
+)
+
+// runLoadgenCluster drives a running N-node ltcd cluster end to end — the
+// cluster analogue of runLoadgen, with the same global-equivalence audit:
+//
+//   - it regenerates the cluster's workload from the same -scale/-seed
+//     flags, derives the identical tile→node topology client-side, and
+//     verifies every node serves that topology (fingerprint handshake in
+//     Sync) before any traffic flows;
+//   - it merges the nodes' SSE streams into one global gapless sequence
+//     and audits exactly-once delivery: one task_completed per task across
+//     the whole cluster, no duplicates, one platform_done per task-owning
+//     node, with per-node sequence gaps surfacing as hard errors;
+//   - the folded cluster stats must agree with the summed event stream and
+//     with the fed worker count;
+//   - with a single connection the whole cluster must be wire-transparent:
+//     an in-process reference platform per node, fed the same stream split
+//     by the same routing (per-call or with the same batch run-splitting),
+//     must reproduce every node's latency and workers-seen count exactly.
+func runLoadgenCluster(urls []string, scale float64, seed uint64, algoName string, batch, conns int) error {
+	if len(urls) < 1 {
+		return errors.New("loadgen -cluster needs at least one node URL")
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	cfg := ltc.DefaultWorkload().Scale(scale)
+	cfg.Seed = seed
+	in, err := cfg.Generate()
+	if err != nil {
+		return err
+	}
+	topo, err := cluster.Build(in, len(urls))
+	if err != nil {
+		return err
+	}
+	split, err := cluster.SplitInstance(in, topo)
+	if err != nil {
+		return err
+	}
+	cc, err := httpapi.NewClusterClient(urls, topo)
+	if err != nil {
+		return err
+	}
+
+	syncCtx, cancelSync := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelSync()
+	if _, err := cc.Sync(syncCtx); err != nil {
+		return fmt.Errorf("cluster sync: %w", err)
+	}
+	pre, err := cc.Stats()
+	if err != nil {
+		return err
+	}
+	if pre.WorkersSeen != 0 {
+		return fmt.Errorf("cluster already saw %d workers — loadgen needs a fresh boot", pre.WorkersSeen)
+	}
+	if pre.Tasks != len(in.Tasks) {
+		return fmt.Errorf("cluster serves %d tasks, local generation has %d — mismatched -scale/-seed?", pre.Tasks, len(in.Tasks))
+	}
+	taskNodes := 0
+	algo := ltc.Algorithm(algoName)
+	for n := range split.Subs {
+		if split.Subs[n] != nil {
+			taskNodes++
+			if algoName == "" {
+				algo = ltc.Algorithm(pre.Nodes[n].Algo)
+			}
+		}
+	}
+	fmt.Printf("loadgen: %d tasks / %d workers across %d nodes (%d task-owning; %s, %d conns, batch=%d)\n",
+		len(in.Tasks), len(in.Workers), len(urls), taskNodes, algo, conns, batch)
+
+	// Audit the merged stream. Cluster nodes replay their event log from
+	// boot, so opening after Sync loses nothing; per-node gaps are fatal.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stream := cc.OpenClusterEvents(ctx)
+	defer stream.Close()
+	completions := make(map[int]int)
+	var dupes, outOfRange, platformDone int
+	var merged uint64
+	streamErr := make(chan error, 1)
+	go func() {
+		for {
+			e, err := stream.Next()
+			if err == io.EOF {
+				streamErr <- nil
+				return
+			}
+			if err != nil {
+				streamErr <- err
+				return
+			}
+			merged = e.ClusterSeq
+			switch e.Kind {
+			case "task_completed":
+				if e.Task < 0 || e.Task >= len(in.Tasks) {
+					outOfRange++
+				}
+				completions[e.Task]++
+				if completions[e.Task] > 1 {
+					dupes++
+				}
+			case "platform_done":
+				platformDone++
+			}
+			// Every task-owning node publishes exactly one platform_done;
+			// wait for all of them plus full completion coverage before
+			// ending the audit (the timeout below backstops lost events).
+			if platformDone >= taskNodes && len(completions) >= len(in.Tasks) {
+				streamErr <- nil
+				return
+			}
+		}
+	}()
+
+	// Feed the stream through the routing client. Connections claim workers
+	// (or batch chunks) from a shared cursor; completed nodes keep bouncing
+	// per-call traffic exactly like a completed single-node gateway, so the
+	// feed stops only once every task-owning node has completed.
+	wire := make([]httpapi.Worker, len(in.Workers))
+	for i, w := range in.Workers {
+		wire[i] = httpapi.FromWorker(w)
+	}
+	var cursor, fed atomic.Int64
+	var done atomic.Bool
+	errs := make(chan error, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	step := 1
+	if batch > 1 {
+		step = batch
+	}
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				i := int(cursor.Add(int64(step))) - step
+				if i >= len(wire) {
+					return
+				}
+				j := min(i+step, len(wire))
+				if batch > 1 {
+					recs, allDone, err := cc.CheckInBatch(wire[i:j])
+					if err != nil {
+						errs <- err
+						return
+					}
+					fed.Add(int64(len(recs)))
+					if allDone {
+						done.Store(true)
+					}
+				} else {
+					if _, err := cc.CheckIn(wire[i]); err != nil {
+						errs <- err
+						return
+					}
+					fed.Add(1)
+					if cc.Complete() {
+						done.Store(true)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	select {
+	case err := <-streamErr:
+		if err != nil {
+			return fmt.Errorf("merged event stream: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return errors.New("timed out waiting for every node's platform_done on the merged stream")
+	}
+	st, err := cc.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fed %d workers in %v (%.0f workers/s over the wire)\n",
+		fed.Load(), elapsed.Round(time.Millisecond), float64(fed.Load())/elapsed.Seconds())
+	fmt.Printf("cluster: latency=%d workers_seen=%d resolved=%d/%d done=%v (%d events merged)\n",
+		st.Latency, st.WorkersSeen, st.Resolved, st.Total, st.Done, merged)
+	if !st.Done || st.Resolved != st.Total || st.Total != len(in.Tasks) {
+		return fmt.Errorf("cluster incomplete: %d/%d resolved (want %d)", st.Resolved, st.Total, len(in.Tasks))
+	}
+	if len(completions) != len(in.Tasks) || dupes > 0 || outOfRange > 0 || platformDone != taskNodes {
+		return fmt.Errorf("event audit failed: %d/%d distinct completions, %d duplicates, %d out-of-range IDs, %d/%d platform_done",
+			len(completions), len(in.Tasks), dupes, outOfRange, platformDone, taskNodes)
+	}
+	if int(fed.Load()) != st.WorkersSeen {
+		return fmt.Errorf("summed workers_seen %d != %d workers fed over the wire", st.WorkersSeen, fed.Load())
+	}
+	fmt.Printf("events: %d task_completed (all distinct) + %d platform_done over a gapless %d-event fold — exactly-once holds\n",
+		len(completions), platformDone, merged)
+
+	if conns == 1 {
+		if err := replayClusterReference(in, topo, split, st, algo, seed, batch); err != nil {
+			return err
+		}
+	}
+	fmt.Println("loadgen: PASS")
+	return nil
+}
+
+// replayClusterReference rebuilds every task-owning node as an in-process
+// platform and feeds it the same worker stream through the same routing
+// (per-call, or batch chunks split into maximal same-node runs exactly as
+// ClusterClient.CheckInBatch splits them). The wire must change nothing:
+// per-node latency and workers-seen, and the cluster-level latency fold,
+// must match the polled stats bit for bit.
+func replayClusterReference(in *ltc.Instance, topo *cluster.Topology, split *cluster.Split,
+	st httpapi.ClusterStats, algo ltc.Algorithm, seed uint64, batch int) error {
+	refs := make([]*ltc.Platform, topo.Nodes)
+	for n, sub := range split.Subs {
+		if sub == nil {
+			continue
+		}
+		// Mirror each node's spatial grid by replaying its REQUESTED shard
+		// count, as the single-node loadgen does.
+		shards := st.Nodes[n].RequestedShards
+		if shards == 0 {
+			shards = st.Nodes[n].Shards
+		}
+		ref, err := ltc.NewPlatform(sub.In, algo, ltc.WithShards(shards), ltc.WithSeed(seed))
+		if err != nil {
+			return err
+		}
+		defer ref.Close()
+		refs[n] = ref
+	}
+	refsDone := func() bool {
+		for _, ref := range refs {
+			if ref != nil && !ref.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	// Feed. Routing uses the static topology directly: the client's live
+	// table never healed (Sync verified the fingerprints), so both route
+	// identically. Only tiles with owners receive traffic, hence every
+	// routed-to node has a platform.
+	if batch > 1 {
+		for i := 0; i < len(in.Workers) && !refsDone(); i += batch {
+			chunk := in.Workers[i:min(i+batch, len(in.Workers))]
+			for s := 0; s < len(chunk); {
+				n := topo.NodeFor(chunk[s].Loc)
+				e := s + 1
+				for e < len(chunk) && topo.NodeFor(chunk[e].Loc) == n {
+					e++
+				}
+				if !refs[n].Done() {
+					if _, err := refs[n].CheckInBatch(chunk[s:e]); err != nil && !errors.Is(err, ltc.ErrPlatformDone) {
+						return err
+					}
+				}
+				s = e
+			}
+		}
+	} else {
+		for _, w := range in.Workers {
+			if refsDone() {
+				break
+			}
+			if _, err := refs[topo.NodeFor(w.Loc)].CheckIn(w); err != nil && !errors.Is(err, ltc.ErrPlatformDone) {
+				return err
+			}
+		}
+	}
+	latency := 0
+	for n, ref := range refs {
+		if ref == nil {
+			continue
+		}
+		if !ref.Done() {
+			return fmt.Errorf("reference replay: node %d did not complete", n)
+		}
+		if ref.Latency() != st.Nodes[n].Latency {
+			return fmt.Errorf("node %d: HTTP-fed latency %d != in-process latency %d", n, st.Nodes[n].Latency, ref.Latency())
+		}
+		if ref.WorkersSeen() != st.Nodes[n].WorkersSeen {
+			return fmt.Errorf("node %d: HTTP-fed workers_seen %d != in-process %d", n, st.Nodes[n].WorkersSeen, ref.WorkersSeen())
+		}
+		latency = max(latency, ref.Latency())
+	}
+	if latency != st.Latency {
+		return fmt.Errorf("cluster latency fold %d != in-process max %d", st.Latency, latency)
+	}
+	fmt.Printf("in-process replay: per-node latency and workers_seen match; cluster latency=%d — the wire changed nothing\n", latency)
+	return nil
+}

@@ -60,6 +60,7 @@ func main() {
 		churnTTL     = flag.Int("churn-ttl", 0, "task TTL in arrivals for -exp churn (0 = no expiry)")
 
 		url        = flag.String("url", "", "ltcd base URL for -exp loadgen (e.g. http://127.0.0.1:8080)")
+		lgCluster  = flag.String("cluster", "", "comma-separated node URLs for -exp loadgen against an ltcd cluster (node-ID order; overrides -url)")
 		lgBatch    = flag.Int("loadgen-batch", 0, "feed -exp loadgen through /checkin/batch chunks of this size (0/1 = per-call)")
 		lgConns    = flag.Int("loadgen-conns", 1, "concurrent connections for -exp loadgen (1 = sequential feed with in-process latency audit)")
 		baseline   = flag.String("baseline", "", "baseline throughput artifact for -exp benchdiff")
@@ -129,6 +130,16 @@ func main() {
 		var algo string
 		if *algos != "" {
 			algo = strings.TrimSpace(strings.Split(*algos, ",")[0])
+		}
+		if *lgCluster != "" {
+			var nodeURLs []string
+			for _, u := range strings.Split(*lgCluster, ",") {
+				nodeURLs = append(nodeURLs, strings.TrimSpace(u))
+			}
+			if err := runLoadgenCluster(nodeURLs, *scale, *seed, algo, *lgBatch, *lgConns); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		if err := runLoadgen(*url, *scale, *seed, algo, *lgBatch, *lgConns); err != nil {
 			log.Fatal(err)

@@ -18,6 +18,15 @@
 //	ltcd -shards 8 -rebalance             # adaptive live re-sharding
 //	ltcd -city newyork -scale 0.005
 //
+// Cluster mode splits one workload across N processes by a static
+// tile→node topology (see CONCURRENCY.md, "Cluster tier"): write the
+// topology once, then boot one node per slot with the same workload flags:
+//
+//	ltcd -cluster init=3 -topology topo.json        # writes the table, exits
+//	ltcd -cluster node=0 -topology topo.json -addr :8080
+//	ltcd -cluster node=1 -topology topo.json -addr :8081
+//	ltcd -cluster node=2 -topology topo.json -addr :8082
+//
 // Drive it end to end with the bundled load generator:
 //
 //	go run ./cmd/ltcbench -exp loadgen -url http://127.0.0.1:8080 -scale 0.01
@@ -33,10 +42,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ltc"
+	"ltc/internal/cluster"
 	"ltc/internal/httpapi"
 )
 
@@ -57,12 +69,45 @@ func main() {
 		city      = flag.String("city", "", "serve a city trace's tasks instead: newyork or tokyo")
 		queueCap  = flag.Int("queue-cap", 0, "per-shard async queue capacity (0 = default)")
 		eventBuf  = flag.Int("event-buffer", 0, "per-subscriber event buffer (0 = default)")
+		clusterIn = flag.String("cluster", "", "cluster role: init=N writes an N-node topology file and exits; node=I serves cluster node I (both need -topology)")
+		topoPath  = flag.String("topology", "", "cluster topology file (written by -cluster init, read by -cluster node)")
 	)
 	flag.Parse()
 
 	in, err := buildInstance(*city, *scale, *epsilon, *k, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	clusterNode := -1
+	if *clusterIn != "" {
+		if *topoPath == "" {
+			log.Fatal("-cluster needs -topology")
+		}
+		mode, val, ok := strings.Cut(*clusterIn, "=")
+		n, aerr := strconv.Atoi(val)
+		if !ok || aerr != nil {
+			log.Fatalf("bad -cluster %q (want init=N or node=I)", *clusterIn)
+		}
+		switch mode {
+		case "init":
+			// Write the cluster-wide topology artifact and exit: every node
+			// (and the loadgen) derives the same table from the same workload
+			// flags, so the file is mostly a boot-time cross-check anchor.
+			topo, err := cluster.Build(in, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := topo.Save(*topoPath); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %d-node topology (%d tiles, fingerprint %s) to %s",
+				topo.Nodes, len(topo.TileNode), topo.Fingerprint(), *topoPath)
+			return
+		case "node":
+			clusterNode = n
+		default:
+			log.Fatalf("bad -cluster %q (want init=N or node=I)", *clusterIn)
+		}
 	}
 	// Resolve the GOMAXPROCS default here so /stats can echo the exact
 	// count a client must request to mirror this platform's spatial grid.
@@ -78,22 +123,69 @@ func main() {
 	if *rebalance {
 		popts = append(popts, ltc.WithRebalance())
 	}
-	plat, err := ltc.NewPlatform(in, ltc.Algorithm(*algoName), popts...)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		plat    *ltc.Platform
+		handler http.Handler
+	)
+	if clusterNode >= 0 {
+		topo, err := cluster.Load(*topoPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if clusterNode >= topo.Nodes {
+			log.Fatalf("node %d outside the %d-node topology", clusterNode, topo.Nodes)
+		}
+		// The topology file must describe the exact tiling this node's
+		// workload flags generate; serving a mismatched table would misroute
+		// silently, so the boot cross-check is fatal.
+		rebuilt, err := cluster.Build(in, topo.Nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rebuilt.Fingerprint() != topo.Fingerprint() {
+			log.Fatalf("topology fingerprint %s does not match these workload flags (%s) — regenerate with -cluster init=%d",
+				topo.Fingerprint(), rebuilt.Fingerprint(), topo.Nodes)
+		}
+		split, err := cluster.SplitInstance(in, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		owned := 0
+		if sub := split.Subs[clusterNode]; sub != nil {
+			owned = len(sub.Global)
+			plat, err = ltc.NewPlatform(sub.In, ltc.Algorithm(*algoName), popts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		cs, err := httpapi.NewClusterServer(plat, ltc.Algorithm(*algoName), requested, topo, clusterNode, split)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cs.Close()
+		handler = cs.Handler()
+		log.Printf("cluster node %d/%d: serving %d of %d tasks (fingerprint %s) on %s",
+			clusterNode, topo.Nodes, owned, topo.TotalTasks, topo.Fingerprint(), *addr)
+	} else {
+		plat, err = ltc.NewPlatform(in, ltc.Algorithm(*algoName), popts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = httpapi.NewHandler(plat, ltc.Algorithm(*algoName), requested)
+		layout := "striped"
+		if plat.Balanced() {
+			layout = "balanced"
+		}
+		if plat.Rebalancing() {
+			layout = "balanced+rebalance"
+		}
+		log.Printf("serving %s over %d tasks (%d shards, %s layout, ε=%.2f, K=%d) on %s",
+			*algoName, len(in.Tasks), plat.Shards(), layout, in.Epsilon, in.K, *addr)
 	}
-	defer plat.Close()
-	srv := &http.Server{Addr: *addr, Handler: httpapi.NewHandler(plat, ltc.Algorithm(*algoName), requested)}
-
-	layout := "striped"
-	if plat.Balanced() {
-		layout = "balanced"
+	if plat != nil {
+		defer plat.Close()
 	}
-	if plat.Rebalancing() {
-		layout = "balanced+rebalance"
-	}
-	log.Printf("serving %s over %d tasks (%d shards, %s layout, ε=%.2f, K=%d) on %s",
-		*algoName, len(in.Tasks), plat.Shards(), layout, in.Epsilon, in.K, *addr)
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
 	// requests (including open SSE streams, bounded by the timeout) finish.
@@ -111,6 +203,10 @@ func main() {
 	}
 	if err := <-done; err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if plat == nil {
+		log.Printf("final: node owned no tasks")
+		return
 	}
 	if plat.Rebalancing() {
 		log.Printf("final: latency=%d workers=%d done=%v migrations=%d",

@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Client is a typed client for the ltcd gateway, used by the ltcbench
@@ -55,6 +57,15 @@ func (c *Client) doJSON(method, path string, body, out any) error {
 		return err
 	}
 	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		// A cluster node refusing traffic it does not own: surface the typed
+		// redirect so routing clients can heal their table and retry.
+		var rb redirectBody
+		if json.NewDecoder(resp.Body).Decode(&rb) == nil {
+			return &RedirectError{Owner: rb.Owner, Index: rb.Index, Msg: rb.Error}
+		}
+		return fmt.Errorf("%s %s: HTTP 421 with unreadable redirect body", method, path)
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var he httpError
 		if json.NewDecoder(resp.Body).Decode(&he) == nil && he.Error != "" {
@@ -120,7 +131,20 @@ type EventStream struct {
 // writes the response headers). Cancel ctx or call Close to end the
 // stream.
 func (c *Client) OpenEvents(ctx context.Context) (*EventStream, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/events", nil)
+	return c.OpenEventsSince(ctx, 0)
+}
+
+// OpenEventsSince subscribes to the event stream resuming after per-node
+// sequence number since. Cluster nodes record their whole event history, so
+// since > 0 replays everything the caller has not yet folded — the resume
+// half of the exactly-once cluster audit. Plain gateways ignore the
+// parameter (their streams start at the subscription point).
+func (c *Client) OpenEventsSince(ctx context.Context, since uint64) (*EventStream, error) {
+	path := "/events"
+	if since > 0 {
+		path = fmt.Sprintf("/events?since=%d", since)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -256,3 +280,39 @@ func (c *Client) StreamEvents(ctx context.Context, fn func(Event) error) error {
 // ErrStopStreaming, returned by a StreamEvents callback, ends the stream
 // without error.
 var ErrStopStreaming = errors.New("httpapi: stop streaming")
+
+// WaitReady polls GET /stats until the gateway answers, backing off between
+// attempts with backoffDelay. It is the readiness probe a supervisor runs
+// against freshly-spawned gateways; the capped-exponential-with-jitter
+// schedule keeps a loadgen supervising several cluster nodes from hammering
+// a slow booter in lockstep. Returns when the gateway is ready, or with the
+// last probe error once ctx ends.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		_, err := c.Stats()
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("httpapi: gateway %s not ready: %w (last probe: %v)", c.Base, ctx.Err(), err)
+		case <-time.After(backoffDelay(attempt)):
+		}
+	}
+}
+
+// backoffDelay is the retry schedule shared by every readiness probe and
+// stream-reconnect loop: exponential from 25ms, capped at 1s, with a
+// uniform ±25% jitter so concurrent retriers (a loadgen supervising N
+// nodes, N clients probing one node) decorrelate instead of synchronizing.
+func backoffDelay(attempt int) time.Duration {
+	if attempt > 6 {
+		attempt = 6 // 25ms << 6 = 1.6s; the cap below trims it to 1s
+	}
+	d := 25 * time.Millisecond << uint(attempt)
+	if d > time.Second {
+		d = time.Second
+	}
+	// ±25%: scale by a factor drawn uniformly from [0.75, 1.25).
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+}

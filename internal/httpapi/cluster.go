@@ -1,0 +1,452 @@
+// Cluster tier, node side: a ClusterServer wraps one node's Platform (the
+// sub-instance of the global task set its topology tiles assign it) in the
+// same HTTP surface as a plain gateway, plus the cluster-specific contract:
+//
+//   - ownership checks — a check-in, post or retire whose owner is another
+//     node is rejected with HTTP 421 (Misdirected Request) and a JSON body
+//     naming the owner, which clients use to self-heal a stale routing
+//     table (see RedirectError);
+//   - task-ID translation — the wire speaks cluster-global IDs everywhere
+//     (receipts, events, /tasks, DELETE /tasks/{id}); the node's platform
+//     only ever sees its dense local IDs;
+//   - a replayable event log — GET /events?since=N resumes a node stream
+//     after the N-th event, so a reconnecting cluster subscriber can
+//     preserve the exactly-once audit across connection loss;
+//   - GET /cluster/info — the node's identity, its owned initial tasks and
+//     the topology fingerprint, letting clients verify the cluster matches
+//     the workload flags they generated from before any traffic flows.
+//
+// See CONCURRENCY.md, "Cluster tier".
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ltc"
+	"ltc/internal/cluster"
+	"ltc/internal/geo"
+)
+
+// RedirectError is the typed client-side form of an HTTP 421 response: the
+// request reached a node that does not own the task or tile it concerns.
+// Owner is the node that does; clients heal their routing table with it and
+// retry. Index is the offset of the first misrouted worker inside a batch
+// (-1 for single-object requests), so batch clients can re-split from the
+// exact worker that routed wrong.
+type RedirectError struct {
+	Owner int
+	Index int
+	Msg   string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("httpapi: misdirected request, owner is node %d: %s", e.Owner, e.Msg)
+}
+
+// redirectBody is the JSON body of an HTTP 421 response.
+type redirectBody struct {
+	Error string `json:"error"`
+	Owner int    `json:"owner"`
+	Index int    `json:"index"`
+}
+
+func writeRedirect(w http.ResponseWriter, owner, index int, msg string) {
+	writeJSON(w, http.StatusMisdirectedRequest, redirectBody{Error: msg, Owner: owner, Index: index})
+}
+
+// ClusterInfo is GET /cluster/info's result. Tasks lists the cluster-global
+// IDs of the initial tasks this node owns (empty for a node owning no
+// tiles); Fingerprint ties the node's routing table to the exact tiling, so
+// a client can detect mismatched workload flags before any traffic flows.
+type ClusterInfo struct {
+	Node        int    `json:"node"`
+	Nodes       int    `json:"nodes"`
+	TotalTasks  int    `json:"total_tasks"`
+	Fingerprint string `json:"fingerprint"`
+	Tasks       []int  `json:"tasks"`
+}
+
+// NodeStats is a cluster node's GET /stats result: the plain Stats snapshot
+// plus the node's identity, so folded cluster stats stay attributable.
+type NodeStats struct {
+	Stats
+	Node         int `json:"node"`
+	ClusterNodes int `json:"cluster_nodes"`
+}
+
+// ClusterServer serves one cluster node: the plain gateway surface with
+// ownership enforcement, global↔local task-ID translation and a replayable
+// event log. Construct with NewClusterServer, serve Handler(), and Close
+// when done (it detaches the event recorder from the platform).
+type ClusterServer struct {
+	topo      *cluster.Topology
+	node      int
+	p         *ltc.Platform // nil when the node owns no tiles (and no tasks)
+	algo      string
+	requested int
+	global    []ltc.TaskID       // local → cluster-global, initial tasks
+	localOf   map[int]ltc.TaskID // cluster-global → local, initial tasks
+	ownerOf   []int32            // cluster-global initial task → owning node
+	log       *eventLog
+	sub       *ltc.Subscription
+	closeOnce sync.Once
+	mux       *http.ServeMux
+}
+
+// NewClusterServer wraps node's platform in the cluster HTTP surface.
+// p must be nil exactly when the topology assigns the node no tiles (its
+// split sub-instance is nil); such a node still serves — it redirects every
+// check-in, reports trivially-done stats and an empty event stream — so a
+// cluster boots uniformly regardless of how tasks landed on tiles.
+func NewClusterServer(p *ltc.Platform, algo ltc.Algorithm, requestedShards int,
+	topo *cluster.Topology, node int, split *cluster.Split) (*ClusterServer, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if node < 0 || node >= topo.Nodes {
+		return nil, fmt.Errorf("httpapi: node %d outside topology [0,%d)", node, topo.Nodes)
+	}
+	if len(split.Subs) != topo.Nodes || len(split.OwnerOf) != topo.TotalTasks {
+		return nil, errors.New("httpapi: split does not match the topology")
+	}
+	sub := split.Subs[node]
+	if (sub == nil) != (p == nil) {
+		return nil, fmt.Errorf("httpapi: node %d platform/sub-instance mismatch (owns tasks: %v, platform: %v)",
+			node, sub != nil, p != nil)
+	}
+	s := &ClusterServer{
+		topo: topo, node: node, p: p, algo: string(algo), requested: requestedShards,
+		ownerOf: split.OwnerOf, localOf: make(map[int]ltc.TaskID),
+		log: newEventLog(), mux: http.NewServeMux(),
+	}
+	if sub != nil {
+		s.global = sub.Global
+		for local, g := range sub.Global {
+			s.localOf[int(g)] = ltc.TaskID(local)
+		}
+		// Record the node's whole event history from boot: the log is what
+		// makes GET /events?since=N resumable. The platform's buses never
+		// block publishers; if this subscriber is ever overrun the log has a
+		// hole, so it is marked corrupt and streams terminate rather than
+		// silently skipping — the cluster merger's gap detection stays honest.
+		s.sub = p.Subscribe()
+		go func() {
+			for e := range s.sub.Events() {
+				if s.sub.Dropped() > 0 {
+					s.log.markCorrupt()
+					return
+				}
+				s.log.append(s.wireEvent(e))
+			}
+		}()
+	}
+	s.mux.HandleFunc("POST /checkin", s.handleCheckIn)
+	s.mux.HandleFunc("POST /checkin/batch", s.handleCheckInBatch)
+	s.mux.HandleFunc("POST /tasks", s.handlePostTask)
+	s.mux.HandleFunc("DELETE /tasks/{id}", s.handleRetireTask)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /cluster/info", s.handleInfo)
+	return s, nil
+}
+
+// Handler returns the node's HTTP surface.
+func (s *ClusterServer) Handler() http.Handler { return s.mux }
+
+// Close detaches the event recorder from the platform. Open /events streams
+// drain the recorded log and then block until their clients disconnect.
+func (s *ClusterServer) Close() {
+	s.closeOnce.Do(func() {
+		if s.sub != nil {
+			s.sub.Close()
+		}
+	})
+}
+
+// globalID translates a node-local task ID to its cluster-global ID:
+// initial tasks by the split's table, posted tasks by the topology's
+// disjoint per-node arithmetic progression (the k-th post on this node is
+// local ID len(initial)+k — the platform numbers posts densely).
+func (s *ClusterServer) globalID(local int) int {
+	if local < len(s.global) {
+		return int(s.global[local])
+	}
+	return s.topo.PostedGlobalID(s.node, local-len(s.global))
+}
+
+// wireEvent converts a platform event to its wire form with the task ID
+// translated to cluster-global (tile_migrated frames carry Task -1, which
+// passes through untouched). Seq stays the node-local dense sequence — the
+// cluster merger folds per-node sequences, it never rewrites them.
+func (s *ClusterServer) wireEvent(e ltc.Event) Event {
+	we := FromEvent(e)
+	if we.Task >= 0 {
+		we.Task = s.globalID(we.Task)
+	}
+	return we
+}
+
+// wireReceipt converts a receipt with every grant's task ID translated.
+func (s *ClusterServer) wireReceipt(r ltc.Receipt, bounced bool) Receipt {
+	out := FromReceipt(r, bounced)
+	for i := range out.Assignments {
+		out.Assignments[i].Task = s.globalID(out.Assignments[i].Task)
+	}
+	return out
+}
+
+func (s *ClusterServer) handleCheckIn(w http.ResponseWriter, r *http.Request) {
+	var body Worker
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker: %w", err))
+		return
+	}
+	if owner := s.topo.NodeFor(geo.Point{X: body.X, Y: body.Y}); owner != s.node {
+		writeRedirect(w, owner, -1,
+			fmt.Sprintf("check-in at (%g, %g) belongs to node %d", body.X, body.Y, owner))
+		return
+	}
+	// Owning a tile implies owning its tasks, so a consistent topology never
+	// routes traffic to a platform-less node; reaching this with p == nil
+	// means the served topology diverged from the split.
+	if s.p == nil {
+		writeError(w, http.StatusInternalServerError, errors.New("node owns the tile but has no platform"))
+		return
+	}
+	rec, err := s.p.CheckIn(body.Model())
+	switch {
+	case errors.Is(err, ltc.ErrPlatformDone):
+		writeJSON(w, http.StatusOK, s.wireReceipt(rec, true))
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, s.wireReceipt(rec, false))
+	}
+}
+
+func (s *ClusterServer) handleCheckInBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch: %w", err))
+		return
+	}
+	// Ownership is all-or-nothing per batch: reject before ingesting anything
+	// so a redirected batch is fully re-presentable after the client heals.
+	for i, ww := range body.Workers {
+		if owner := s.topo.NodeFor(geo.Point{X: ww.X, Y: ww.Y}); owner != s.node {
+			writeRedirect(w, owner, i,
+				fmt.Sprintf("batch worker %d (index %d) belongs to node %d", i, ww.Index, owner))
+			return
+		}
+	}
+	if s.p == nil {
+		if len(body.Workers) == 0 {
+			writeJSON(w, http.StatusOK, BatchResponse{Done: true})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, errors.New("node owns the tile but has no platform"))
+		return
+	}
+	ws := make([]ltc.Worker, len(body.Workers))
+	for i, ww := range body.Workers {
+		ws[i] = ww.Model()
+	}
+	recs, err := s.p.CheckInBatch(ws)
+	resp := BatchResponse{Done: errors.Is(err, ltc.ErrPlatformDone)}
+	if err != nil && !resp.Done {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := len(recs); n > 0 && recs[n-1].Done {
+		resp.Done = true
+	}
+	for _, rec := range recs {
+		resp.Receipts = append(resp.Receipts, s.wireReceipt(rec, false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *ClusterServer) handlePostTask(w http.ResponseWriter, r *http.Request) {
+	var body TaskRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad task: %w", err))
+		return
+	}
+	if owner := s.topo.NodeFor(geo.Point{X: body.X, Y: body.Y}); owner != s.node {
+		writeRedirect(w, owner, -1,
+			fmt.Sprintf("task at (%g, %g) belongs to node %d", body.X, body.Y, owner))
+		return
+	}
+	if s.p == nil {
+		writeError(w, http.StatusInternalServerError, errors.New("node owns the tile but has no platform"))
+		return
+	}
+	var task ltc.Task
+	task.Loc.X, task.Loc.Y = body.X, body.Y
+	id, err := s.p.PostTask(task)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TaskResponse{ID: s.globalID(int(id))})
+}
+
+func (s *ClusterServer) handleRetireTask(w http.ResponseWriter, r *http.Request) {
+	g, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || g < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad task id %q", r.PathValue("id")))
+		return
+	}
+	var owner int
+	var local ltc.TaskID
+	if g < s.topo.TotalTasks {
+		owner = int(s.ownerOf[g])
+		local = s.localOf[g] // valid iff owner == s.node
+	} else {
+		n, k, err := s.topo.PostedOwner(g)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		owner, local = n, ltc.TaskID(len(s.global)+k)
+	}
+	if owner != s.node {
+		writeRedirect(w, owner, -1, fmt.Sprintf("task %d belongs to node %d", g, owner))
+		return
+	}
+	// A posted ID can claim this node as owner without the node ever having
+	// posted it; the platform's own range check turns that into a 404. A
+	// platform-less node owns nothing retirable at all.
+	if s.p == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown task %d", g))
+		return
+	}
+	if err := s.p.RetireTask(local); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *ClusterServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := NodeStats{Node: s.node, ClusterNodes: s.topo.Nodes}
+	if s.p == nil {
+		// A node owning no tasks is trivially complete and perfectly even.
+		st.Stats = Stats{Algo: s.algo, RequestedShards: s.requested, Done: true, Imbalance: 1}
+	} else {
+		st.Stats = statsSnapshot(s.p, s.algo, s.requested)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *ClusterServer) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	info := ClusterInfo{
+		Node: s.node, Nodes: s.topo.Nodes, TotalTasks: s.topo.TotalTasks,
+		Fingerprint: s.topo.Fingerprint(), Tasks: make([]int, 0, len(s.global)),
+	}
+	for _, g := range s.global {
+		info.Tasks = append(info.Tasks, int(g))
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleEvents streams the node's recorded event log as SSE, then follows
+// the live feed. Unlike the plain gateway's subscribe-from-now stream, the
+// cluster stream replays from the beginning (or from ?since=N, the per-node
+// sequence number after which to resume), so a reconnecting cluster client
+// can rebuild the global gapless sequence without losing its audit.
+func (s *ClusterServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q: %w", v, err))
+			return
+		}
+		since = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	ctx := r.Context()
+	pos := int(since) // log[i] is the event with per-node Seq i+1
+	for {
+		e, wait, corrupt := s.log.at(pos)
+		if corrupt {
+			// The recorder was overrun: the log has a hole at the tail, so
+			// the stream ends here rather than serving a gapped sequence.
+			_, _ = fmt.Fprintf(w, ": event log truncated (recorder overrun)\n\n")
+			return
+		}
+		if wait == nil {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data); err != nil {
+				return
+			}
+			flusher.Flush()
+			pos++
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wait:
+		}
+	}
+}
+
+// eventLog is the node's append-only recorded event history backing
+// resumable /events streams. Appends broadcast by closing notify.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	notify  chan struct{}
+	corrupt bool
+}
+
+func newEventLog() *eventLog { return &eventLog{notify: make(chan struct{})} }
+
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+func (l *eventLog) markCorrupt() {
+	l.mu.Lock()
+	l.corrupt = true
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// at returns the event at pos, or — when the log hasn't grown that far — a
+// channel that closes on the next append. corrupt is only reported once the
+// readable prefix is exhausted, so clients always see every intact event.
+func (l *eventLog) at(pos int) (e Event, wait chan struct{}, corrupt bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pos < len(l.events) {
+		return l.events[pos], nil, false
+	}
+	if l.corrupt {
+		return Event{}, nil, true
+	}
+	return Event{}, l.notify, false
+}

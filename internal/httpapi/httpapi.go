@@ -277,23 +277,29 @@ func (s *Server) handleRetireTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resolved, total := s.p.Progress()
+	writeJSON(w, http.StatusOK, statsSnapshot(s.p, s.algo, s.requested))
+}
+
+// statsSnapshot assembles the /stats DTO from a live platform; shared by
+// the plain gateway and the cluster node handler.
+func statsSnapshot(p *ltc.Platform, algo string, requested int) Stats {
+	resolved, total := p.Progress()
 	st := Stats{
-		Algo:            s.algo,
-		Shards:          s.p.Shards(),
-		RequestedShards: s.requested,
-		Balanced:        s.p.Balanced(),
-		Latency:         s.p.Latency(),
-		RelativeLatency: s.p.RelativeLatency(),
-		WorkersSeen:     s.p.WorkersSeen(),
+		Algo:            algo,
+		Shards:          p.Shards(),
+		RequestedShards: requested,
+		Balanced:        p.Balanced(),
+		Latency:         p.Latency(),
+		RelativeLatency: p.RelativeLatency(),
+		WorkersSeen:     p.WorkersSeen(),
 		Resolved:        resolved,
 		Total:           total,
-		Done:            s.p.Done(),
-		Imbalance:       s.p.Imbalance(),
-		Rebalanced:      s.p.Rebalancing(),
-		Migrations:      s.p.Migrations(),
+		Done:            p.Done(),
+		Imbalance:       p.Imbalance(),
+		Rebalanced:      p.Rebalancing(),
+		Migrations:      p.Migrations(),
 	}
-	for _, sh := range s.p.ShardStats() {
+	for _, sh := range p.ShardStats() {
 		st.ShardStats = append(st.ShardStats, ShardStat{
 			Tasks: sh.Tasks, Completed: sh.Completed, Retired: sh.Retired,
 			Workers: sh.Workers, Offered: sh.Offered, QueueDepth: sh.QueueDepth,
@@ -301,7 +307,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		})
 		st.Tasks += sh.Tasks
 	}
-	writeJSON(w, http.StatusOK, st)
+	return st
 }
 
 // handleEvents streams the platform's event feed as Server-Sent Events:

@@ -448,10 +448,14 @@ func (p *Partition) bucketTasks(in *Instance) [][]TaskID {
 	return tileTasks
 }
 
-// addShard builds the SubInstance over the given ascending global IDs,
-// records the task→shard mapping, and returns the new shard's index.
-func (p *Partition) addShard(in *Instance, ids []TaskID) int32 {
-	shard := int32(len(p.Shards))
+// NewSubInstance builds a standalone SubInstance over the given ascending
+// global task IDs of in: tasks are renumbered to local consecutive IDs, the
+// accuracy model is wrapped so ID-sensitive models keep seeing the source
+// task, and the radius bound is forwarded when the source model has one.
+// This is the extraction primitive shared by the dispatch layer's spatial
+// shards and the cluster tier's per-node instances. The sub-instance's
+// Workers slice is empty — callers feed workers at check-in time.
+func NewSubInstance(in *Instance, ids []TaskID) *SubInstance {
 	sub := &SubInstance{
 		In: &Instance{
 			Tasks:   make([]Task, len(ids)),
@@ -466,9 +470,19 @@ func (p *Partition) addShard(in *Instance, ids []TaskID) int32 {
 		sub.In.Tasks[local] = Task{ID: TaskID(local), Loc: in.Tasks[gid].Loc}
 		sub.Global[local] = gid
 		sub.source[local] = in.Tasks[gid]
-		p.taskShard[gid] = shard
 	}
 	sub.In.Model = newShardModel(in, sub)
+	return sub
+}
+
+// addShard builds the SubInstance over the given ascending global IDs,
+// records the task→shard mapping, and returns the new shard's index.
+func (p *Partition) addShard(in *Instance, ids []TaskID) int32 {
+	shard := int32(len(p.Shards))
+	sub := NewSubInstance(in, ids)
+	for _, gid := range ids {
+		p.taskShard[gid] = shard
+	}
 	p.Shards = append(p.Shards, sub)
 	return shard
 }
